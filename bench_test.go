@@ -1,0 +1,54 @@
+package congestlb_test
+
+// One benchmark per experiment in DESIGN.md's index: each bench regenerates
+// the corresponding paper figure/table end to end (construction, exact
+// solving, simulation, verification), so `go test -bench=.` re-derives the
+// whole evaluation and times it.
+
+import (
+	"io"
+	"testing"
+
+	"congestlb/internal/experiments"
+)
+
+// benchExperiment runs one registered experiment per iteration, failing the
+// bench if its internal assertions fail.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+func BenchmarkExpFigure1(b *testing.B)     { benchExperiment(b, "figure1") }
+func BenchmarkExpFigure2(b *testing.B)     { benchExperiment(b, "figure2") }
+func BenchmarkExpFigure3(b *testing.B)     { benchExperiment(b, "figure3") }
+func BenchmarkExpFigure4(b *testing.B)     { benchExperiment(b, "figure4") }
+func BenchmarkExpFigure5(b *testing.B)     { benchExperiment(b, "figure5") }
+func BenchmarkExpFigure6(b *testing.B)     { benchExperiment(b, "figure6") }
+func BenchmarkExpCodes(b *testing.B)       { benchExperiment(b, "codes") }
+func BenchmarkExpProperties(b *testing.B)  { benchExperiment(b, "properties") }
+func BenchmarkExpLemma1(b *testing.B)      { benchExperiment(b, "lemma1") }
+func BenchmarkExpLemma2(b *testing.B)      { benchExperiment(b, "lemma2") }
+func BenchmarkExpLemma3(b *testing.B)      { benchExperiment(b, "lemma3") }
+func BenchmarkExpTheorem1(b *testing.B)    { benchExperiment(b, "theorem1") }
+func BenchmarkExpTheorem2(b *testing.B)    { benchExperiment(b, "theorem2") }
+func BenchmarkExpTheorem3(b *testing.B)    { benchExperiment(b, "theorem3") }
+func BenchmarkExpTheorem5(b *testing.B)    { benchExperiment(b, "theorem5") }
+func BenchmarkExpCutSize(b *testing.B)     { benchExperiment(b, "cutsize") }
+func BenchmarkExpTwoParty(b *testing.B)    { benchExperiment(b, "twoparty") }
+func BenchmarkExpRemark1(b *testing.B)     { benchExperiment(b, "remark1") }
+func BenchmarkExpUpperBounds(b *testing.B) { benchExperiment(b, "upperbounds") }
+func BenchmarkExpAblations(b *testing.B)   { benchExperiment(b, "ablations") }
+func BenchmarkExpDiameter(b *testing.B)    { benchExperiment(b, "diameter") }
+func BenchmarkExpSolver(b *testing.B)      { benchExperiment(b, "solver") }
+func BenchmarkExpScaling(b *testing.B)     { benchExperiment(b, "scaling") }

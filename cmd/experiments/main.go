@@ -1,0 +1,71 @@
+// Command experiments regenerates the paper's figures and result tables.
+//
+// Usage:
+//
+//	experiments [-id figure1,theorem5] [-o report.md] [-list]
+//
+// Without -id it runs every registered experiment and emits a combined
+// markdown report (the source of EXPERIMENTS.md's measured columns).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"congestlb/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	ids := fs.String("id", "", "comma-separated experiment IDs (default: all)")
+	out := fs.String("o", "", "write the report to this file instead of stdout")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(w, "%-12s %s (%s)\n", e.ID, e.Title, e.PaperRef)
+		}
+		return nil
+	}
+
+	if *ids == "" {
+		fmt.Fprintf(w, "# Regenerated results — Beyond Alice and Bob (PODC 2020)\n\n")
+		return experiments.RunAll(w)
+	}
+	for _, id := range strings.Split(*ids, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+		fmt.Fprintf(w, "## %s — %s\n\n*Reproduces: %s*\n\n", e.ID, e.Title, e.PaperRef)
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExperimentsList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"figure1", "theorem5", "cutsize"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestExperimentsSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "figure1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "C(1)") {
+		t.Fatalf("figure1 output unexpected:\n%s", buf.String())
+	}
+}
+
+func TestExperimentsMultiple(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "figure2, codes"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "## figure2") || !strings.Contains(out, "## codes") {
+		t.Fatalf("multi-id output unexpected:\n%.300s", out)
+	}
+}
+
+func TestExperimentsUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "nope"}, &buf); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestExperimentsToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.md")
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "figure1", "-o", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "figure1") {
+		t.Fatal("file report missing content")
+	}
+}

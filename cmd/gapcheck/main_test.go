@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGapcheckLinear(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-family", "linear", "-t", "2", "-alpha", "1", "-ell", "3",
+		"-trials", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "gap verified") {
+		t.Fatalf("missing verification summary:\n%s", out)
+	}
+	if strings.Count(out, ": intersecting OPT=") != 3 {
+		t.Fatalf("expected 3 trial lines:\n%s", out)
+	}
+}
+
+func TestGapcheckQuadratic(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-family", "quadratic", "-t", "2", "-alpha", "1", "-ell", "2",
+		"-trials", "2"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "gap verified") {
+		t.Fatal("quadratic gapcheck did not verify")
+	}
+}
+
+func TestGapcheckErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-family", "bogus"},
+		{"-t", "0"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

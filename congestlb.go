@@ -1,0 +1,300 @@
+// Package congestlb is a from-scratch, stdlib-only reproduction of
+//
+//	Beyond Alice and Bob: Improved Inapproximability for
+//	Maximum Independent Set in CONGEST
+//	Yuval Efron, Ofer Grossman, Seri Khoury — PODC 2020
+//
+// as a usable Go library. It provides:
+//
+//   - the CONGEST model simulator (synchronous rounds, Θ(log n)-bit
+//     bandwidth, bit-exact accounting) and reference MaxIS algorithms
+//     (Luby, deterministic rank-greedy, gossip-and-solve-exactly);
+//   - the shared-blackboard multi-party communication model with the
+//     promise pairwise disjointness problem;
+//   - the paper's two families of lower bound graphs — the linear family
+//     of Section 4 and the quadratic family of Section 5 — with their gap
+//     predicates, constructive witnesses and the Remark 1 unweighted
+//     blow-up;
+//   - the reduction machinery: the Theorem 5 simulation that runs any
+//     CONGEST algorithm as a blackboard protocol while charging every
+//     cut-crossing message, and the Corollary 1 / Theorem 1-2 round
+//     lower-bound calculators.
+//
+// The package is a facade: implementation lives in internal/ packages and
+// is re-exported here via type aliases, so the whole library is usable
+// through this single import.
+//
+// # Quick start
+//
+//	p := congestlb.Params{T: 2, Alpha: 1, Ell: 3}
+//	fam, _ := congestlb.NewLinear(p)
+//	in, _, _ := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+//	report, _ := congestlb.RunReduction(fam, in, congestlb.CongestConfig{})
+//	fmt.Println(report.Opt, report.AccountingHolds())
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// regenerated paper results.
+package congestlb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/cc"
+	"congestlb/internal/congest"
+	"congestlb/internal/congestalg"
+	"congestlb/internal/core"
+	"congestlb/internal/graphs"
+	"congestlb/internal/lbgraph"
+	"congestlb/internal/mis"
+)
+
+// Graph-side types.
+type (
+	// Graph is a vertex-weighted undirected graph.
+	Graph = graphs.Graph
+	// NodeID identifies a node within a Graph.
+	NodeID = graphs.NodeID
+	// Edge is an undirected edge with U < V.
+	Edge = graphs.Edge
+	// Partition assigns nodes to players (Definition 4's V = ∪̇ V^i).
+	Partition = graphs.Partition
+)
+
+// Input-side types.
+type (
+	// Vector is a {0,1}^k input string.
+	Vector = bitvec.Vector
+	// Inputs is the tuple x̄ = (x^1..x^t).
+	Inputs = bitvec.Inputs
+	// Matrix addresses a k²-bit string by index pairs, as the quadratic
+	// family's inputs are indexed.
+	Matrix = bitvec.Matrix
+)
+
+// Construction types.
+type (
+	// Params selects a member of the lower-bound constructions.
+	Params = lbgraph.Params
+	// LinearFamily is the Section 4 construction {G_x̄} (Theorem 1).
+	LinearFamily = lbgraph.Linear
+	// QuadraticFamily is the Section 5 construction {F_x̄} (Theorem 2).
+	QuadraticFamily = lbgraph.Quadratic
+	// BlowupResult is Remark 1's unweighted transform output.
+	BlowupResult = lbgraph.BlowupResult
+)
+
+// Framework types.
+type (
+	// Family is a family of lower bound graphs (Definition 4).
+	Family = core.Family
+	// Instance is a built G_x̄ with partition and clique cover.
+	Instance = core.Instance
+	// GapPredicate holds the β / γβ thresholds of Definition 6.
+	GapPredicate = core.GapPredicate
+	// SimulationReport is the outcome of a Theorem 5 simulation run.
+	SimulationReport = core.SimulationReport
+	// SplitBestReport is the outcome of the Section 1 limitation protocol.
+	SplitBestReport = core.SplitBestReport
+)
+
+// CONGEST-side types.
+type (
+	// CongestConfig parameterises a simulation (bandwidth, seed, hooks).
+	CongestConfig = congest.Config
+	// Network is a bound CONGEST simulation.
+	Network = congest.Network
+	// NodeProgram is the per-node state machine interface.
+	NodeProgram = congest.NodeProgram
+	// Message is a single CONGEST message.
+	Message = congest.Message
+	// NodeInfo is the static per-node knowledge.
+	NodeInfo = congest.NodeInfo
+	// RunResult is a finished CONGEST run with stats and outputs.
+	RunResult = congest.Result
+)
+
+// Communication-complexity types.
+type (
+	// Blackboard is the shared-blackboard transcript with bit accounting.
+	Blackboard = cc.Blackboard
+	// Protocol computes promise pairwise disjointness over a blackboard.
+	Protocol = cc.Protocol
+)
+
+// Solver types.
+type (
+	// Solution is an independent set with its weight.
+	Solution = mis.Solution
+	// SolverOptions configures the exact MaxIS solver.
+	SolverOptions = mis.Options
+)
+
+// NewLinear constructs the Section 4 family for the given parameters.
+func NewLinear(p Params) (*LinearFamily, error) { return lbgraph.NewLinear(p) }
+
+// NewQuadratic constructs the Section 5 family for the given parameters.
+func NewQuadratic(p Params) (*QuadraticFamily, error) { return lbgraph.NewQuadratic(p) }
+
+// UnweightedLinearFamily is the Remark 1 family: the linear construction
+// pushed through the weighted→unweighted blow-up.
+type UnweightedLinearFamily = lbgraph.UnweightedLinear
+
+// NewUnweightedLinear constructs the Remark 1 unweighted family.
+func NewUnweightedLinear(p Params) (*UnweightedLinearFamily, error) {
+	return lbgraph.NewUnweightedLinear(p)
+}
+
+// FigureParams returns the ℓ=2, α=1, k=3 preset used in the paper's
+// figures.
+func FigureParams(t int) Params { return lbgraph.FigureParams(t) }
+
+// ParamsForK realises the paper's asymptotic parameter schedule for a
+// target k.
+func ParamsForK(k, t int) (Params, error) { return lbgraph.ParamsForK(k, t) }
+
+// SmallestValidLinear returns the smallest ℓ with a separating linear gap
+// for given t and α.
+func SmallestValidLinear(t, alpha int) Params { return lbgraph.SmallestValidLinear(t, alpha) }
+
+// BuildBase constructs the paper's base graph H (Figure 1) for parameters p.
+func BuildBase(p Params) (*Graph, error) { return lbgraph.BuildBase(p) }
+
+// Blowup applies Remark 1's weighted→unweighted transform.
+func Blowup(g *Graph, part *Partition) (BlowupResult, error) { return lbgraph.Blowup(g, part) }
+
+// RandomUniquelyIntersecting samples t strings of length k sharing exactly
+// one common index (the FALSE case of promise pairwise disjointness).
+// density controls extra single-owner 1 bits.
+func RandomUniquelyIntersecting(k, t int, density float64, rng *rand.Rand) (Inputs, int, error) {
+	return bitvec.RandomUniquelyIntersecting(k, t, bitvec.GenOptions{Density: density}, rng)
+}
+
+// RandomPairwiseDisjoint samples t pairwise-disjoint strings of length k
+// (the TRUE case).
+func RandomPairwiseDisjoint(k, t int, density float64, rng *rand.Rand) (Inputs, error) {
+	return bitvec.RandomPairwiseDisjoint(k, t, bitvec.GenOptions{Density: density}, rng)
+}
+
+// RandomPromiseInstance samples either case with the given bias toward the
+// disjoint one, returning the ground truth.
+func RandomPromiseInstance(k, t int, density, disjointBias float64, rng *rand.Rand) (Inputs, bool, error) {
+	return bitvec.RandomPromiseInstance(k, t, bitvec.GenOptions{Density: density}, disjointBias, rng)
+}
+
+// ExactMaxIS solves an instance exactly using its natural clique cover.
+func ExactMaxIS(inst Instance) (Solution, error) {
+	return mis.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+}
+
+// ExactMaxISGraph solves an arbitrary graph exactly (greedy clique cover).
+func ExactMaxISGraph(g *Graph) (Solution, error) { return mis.Exact(g, mis.Options{}) }
+
+// VerifyIndependent checks a set is independent and returns its weight.
+func VerifyIndependent(g *Graph, set []NodeID) (int64, error) { return mis.Verify(g, set) }
+
+// RunReduction executes the Theorem 5 simulation with the standard
+// gossip-and-solve-exactly CONGEST algorithm: it builds G_x̄, runs the
+// algorithm, charges every cut-crossing message to a blackboard, decides
+// promise pairwise disjointness via the gap predicate and reports the full
+// accounting.
+func RunReduction(fam Family, in Inputs, cfg CongestConfig) (SimulationReport, error) {
+	return core.Simulate(fam, in, core.GossipPrograms, core.GossipOpt, cfg)
+}
+
+// Simulate is RunReduction with a caller-chosen CONGEST algorithm and
+// output interpretation.
+func Simulate(fam Family, in Inputs, factory core.ProgramFactory, extract core.OptExtractor, cfg CongestConfig) (SimulationReport, error) {
+	return core.Simulate(fam, in, factory, extract, cfg)
+}
+
+// VerifyGap builds the instance for in, solves it exactly, and checks the
+// correct side of the family's gap predicate, returning the optimum.
+func VerifyGap(fam Family, in Inputs) (int64, error) {
+	return core.AuditGap(fam, in, func(inst Instance) (int64, error) {
+		sol, err := ExactMaxIS(inst)
+		if err != nil {
+			return 0, err
+		}
+		return sol.Weight, nil
+	})
+}
+
+// AuditLocality mechanically checks Definition 4's locality condition on
+// two input tuples differing only in player i's string.
+func AuditLocality(fam Family, a, b Inputs, i int) error { return core.AuditLocality(fam, a, b, i) }
+
+// SplitBest runs the Section 1 limitation protocol: every player solves
+// its own part locally and announces one value, achieving a
+// 1/t-approximation for t·O(log n) bits.
+func SplitBest(inst Instance) (SplitBestReport, error) { return core.SplitBest(inst) }
+
+// NewCongestNetwork binds node programs to a graph under a config.
+func NewCongestNetwork(g *Graph, programs []NodeProgram, cfg CongestConfig) (*Network, error) {
+	return congest.NewNetwork(g, programs, cfg)
+}
+
+// LubyPrograms returns the randomised maximal-IS programs for an n-node
+// network.
+func LubyPrograms(n int) []NodeProgram { return congestalg.NewLubyPrograms(n) }
+
+// RankGreedyPrograms returns the deterministic weighted-greedy programs.
+func RankGreedyPrograms(n int) []NodeProgram { return congestalg.NewRankGreedyPrograms(n) }
+
+// GossipExactPrograms returns the learn-everything-and-solve programs.
+func GossipExactPrograms(n int) []NodeProgram { return congestalg.NewGossipExactPrograms(n) }
+
+// LeaderBFSPrograms returns the min-ID leader election + BFS tree programs.
+func LeaderBFSPrograms(n int) []NodeProgram { return congestalg.NewLeaderBFSPrograms(n) }
+
+// CollectSolvePrograms returns the BFS-tree convergecast exact-MaxIS
+// programs (the textbook universal O(n²)-round algorithm).
+func CollectSolvePrograms(n int) []NodeProgram { return congestalg.NewCollectSolvePrograms(n) }
+
+// BFSResult is the per-node output of LeaderBFSPrograms.
+type BFSResult = congestalg.BFSResult
+
+// BFSResults extracts the typed outputs of a LeaderBFS run.
+func BFSResults(result RunResult) ([]BFSResult, error) { return congestalg.BFSResults(result) }
+
+// Tracer collects per-round traffic statistics; pass its Hook in a
+// CongestConfig.
+type Tracer = congest.Tracer
+
+// MembershipSet extracts the chosen set from a Luby/RankGreedy run.
+func MembershipSet(result RunResult) []NodeID { return congestalg.MembershipSet(result) }
+
+// PromiseDisjointnessLowerBound is Theorem 3's Ω(k/(t log t)) formula,
+// evaluated with constant 1.
+func PromiseDisjointnessLowerBound(k, t int) float64 { return cc.LowerBoundBits(k, t) }
+
+// RoundLowerBound is Corollary 1: CC_f(k,t)/(|cut|·log₂ n).
+func RoundLowerBound(k, t, cut, n int) float64 { return core.RoundLowerBound(k, t, cut, n) }
+
+// Theorem1Bound evaluates Ω(n/log³n) with constant 1.
+func Theorem1Bound(n float64) float64 { return core.Theorem1Bound(n) }
+
+// Theorem2Bound evaluates Ω(n²/log³n) with constant 1.
+func Theorem2Bound(n float64) float64 { return core.Theorem2Bound(n) }
+
+// PlayersForEpsilon returns the paper's t for a target ε (Lemmas 2-3).
+func PlayersForEpsilon(epsilon float64, quadratic bool) int {
+	return core.PlayersForEpsilon(epsilon, quadratic)
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// BuildInstance is a convenience that constructs and validates an instance
+// for a family and input, with a descriptive error context.
+func BuildInstance(fam Family, in Inputs) (Instance, error) {
+	inst, err := fam.Build(in)
+	if err != nil {
+		return Instance{}, fmt.Errorf("congestlb: building %s: %w", fam.Name(), err)
+	}
+	if err := inst.Graph.Validate(); err != nil {
+		return Instance{}, fmt.Errorf("congestlb: built graph invalid: %w", err)
+	}
+	return inst, nil
+}

@@ -1,0 +1,300 @@
+package congestlb_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"congestlb"
+)
+
+// These tests exercise the public facade end to end, doubling as the
+// library's integration suite.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	p := congestlb.Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := congestlb.BuildInstance(fam, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Graph.N() != p.LinearN() {
+		t.Fatalf("instance has %d nodes, want %d", inst.Graph.N(), p.LinearN())
+	}
+	sol, err := congestlb.ExactMaxIS(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight < fam.Gap().Beta {
+		t.Fatalf("intersecting OPT %d below Beta %d", sol.Weight, fam.Gap().Beta)
+	}
+	if _, err := congestlb.VerifyIndependent(inst.Graph, sol.Set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicReductionFlow(t *testing.T) {
+	p := congestlb.Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	in, err := congestlb.RandomPairwiseDisjoint(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := congestlb.RunReduction(fam, in, congestlb.CongestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Correct() || !report.AccountingHolds() {
+		t.Fatalf("reduction run unsound: %+v", report)
+	}
+	lower := congestlb.RoundLowerBound(fam.InputBits(), p.T, report.CutSize, report.N)
+	if lower <= 0 {
+		t.Fatalf("round lower bound %f not positive", lower)
+	}
+}
+
+func TestPublicGapVerification(t *testing.T) {
+	p := congestlb.SmallestValidLinear(3, 1)
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	in, truth, err := congestlb.RandomPromiseInstance(fam.InputBits(), p.T, 0.4, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := congestlb.VerifyGap(fam, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := fam.Gap()
+	if truth && opt > gap.SmallMax {
+		t.Fatalf("disjoint OPT %d above SmallMax", opt)
+	}
+	if !truth && opt < gap.Beta {
+		t.Fatalf("intersecting OPT %d below Beta", opt)
+	}
+}
+
+func TestPublicQuadraticFlow(t *testing.T) {
+	p := congestlb.FigureParams(2)
+	fam, err := congestlb.NewQuadratic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.InputBits() != p.K()*p.K() {
+		t.Fatalf("quadratic InputBits = %d, want k²", fam.InputBits())
+	}
+	rng := rand.New(rand.NewSource(4))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := congestlb.BuildInstance(fam, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness, err := fam.WitnessLarge(in, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := congestlb.VerifyIndependent(inst.Graph, witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w < p.QuadraticBeta() {
+		t.Fatalf("witness weight %d below Beta %d", w, p.QuadraticBeta())
+	}
+}
+
+func TestPublicBlowupFlow(t *testing.T) {
+	p := congestlb.FigureParams(2)
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := congestlb.BuildInstance(fam, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := congestlb.Blowup(inst.Graph, inst.Partition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(res.Graph.N()) != inst.Graph.TotalWeight() {
+		t.Fatalf("blow-up has %d nodes, want total weight %d", res.Graph.N(), inst.Graph.TotalWeight())
+	}
+}
+
+func TestPublicCongestAlgorithms(t *testing.T) {
+	p := congestlb.FigureParams(2)
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := congestlb.BuildInstance(fam, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := inst.Graph.N()
+	for _, tc := range []struct {
+		name     string
+		programs []congestlb.NodeProgram
+	}{
+		{name: "luby", programs: congestlb.LubyPrograms(n)},
+		{name: "rank-greedy", programs: congestlb.RankGreedyPrograms(n)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net, err := congestlb.NewCongestNetwork(inst.Graph, tc.programs, congestlb.CongestConfig{Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			result, err := net.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			set := congestlb.MembershipSet(result)
+			if _, err := congestlb.VerifyIndependent(inst.Graph, set); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestPublicCollectSolveAndTracer(t *testing.T) {
+	p := congestlb.FigureParams(2)
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := congestlb.BuildInstance(fam, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr congestlb.Tracer
+	net, err := congestlb.NewCongestNetwork(inst.Graph,
+		congestlb.CollectSolvePrograms(inst.Graph.N()),
+		congestlb.CongestConfig{Hook: tr.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := congestlb.MembershipSet(result)
+	weight, err := congestlb.VerifyIndependent(inst.Graph, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := congestlb.ExactMaxIS(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weight != opt.Weight {
+		t.Fatalf("collect-solve weight %d, optimum %d", weight, opt.Weight)
+	}
+	if _, bits := tr.Total(); bits != result.Stats.TotalBits {
+		t.Fatal("tracer disagrees with engine stats")
+	}
+}
+
+func TestPublicSplitBest(t *testing.T) {
+	p := congestlb.Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := congestlb.BuildInstance(fam, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := congestlb.SplitBest(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Ratio() < 0.5 {
+		t.Fatalf("two-party split-best ratio %f below 1/2", report.Ratio())
+	}
+}
+
+func TestPublicLeaderBFS(t *testing.T) {
+	p := congestlb.FigureParams(2)
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := fam.BuildFixed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := congestlb.NewCongestNetwork(inst.Graph,
+		congestlb.LeaderBFSPrograms(inst.Graph.N()), congestlb.CongestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, err := congestlb.BFSResults(result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, r := range bfs {
+		if r.Leader != 0 {
+			t.Fatalf("node %d elected %d", u, r.Leader)
+		}
+	}
+}
+
+func TestPublicBounds(t *testing.T) {
+	if congestlb.Theorem1Bound(1<<20) <= 0 || congestlb.Theorem2Bound(1<<20) <= 0 {
+		t.Fatal("bounds must be positive for large n")
+	}
+	if congestlb.PromiseDisjointnessLowerBound(1000, 4) != 1000.0/8.0 {
+		t.Fatal("CC bound formula wrong")
+	}
+	if congestlb.PlayersForEpsilon(0.5, false) != 4 {
+		t.Fatal("PlayersForEpsilon wrong")
+	}
+	if _, err := congestlb.ParamsForK(256, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := congestlb.BuildBase(congestlb.FigureParams(2)); err != nil {
+		t.Fatal(err)
+	}
+}

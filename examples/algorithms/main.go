@@ -1,0 +1,105 @@
+// Algorithms: drive the CONGEST simulator directly — leader election +
+// BFS, Luby's maximal independent set, and the deterministic weighted
+// greedy — on a hard instance, with per-round traffic tracing.
+//
+// Run with:
+//
+//	go run ./examples/algorithms
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"congestlb"
+)
+
+func main() {
+	p := congestlb.Params{T: 3, Alpha: 1, Ell: 4}
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.4, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := congestlb.BuildInstance(fam, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := inst.Graph
+	n := g.N()
+	fmt.Printf("network: %s — n=%d, m=%d, Δ=%d, diameter=%d\n\n",
+		fam.Name(), n, g.M(), g.MaxDegree(), g.Diameter())
+
+	// Leader election + BFS tree, with a tracer watching the traffic.
+	var tr congestlb.Tracer
+	net, err := congestlb.NewCongestNetwork(g, congestlb.LeaderBFSPrograms(n),
+		congestlb.CongestConfig{Hook: tr.Hook()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := net.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bfs, err := congestlb.BFSResults(result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxDist := 0
+	for _, r := range bfs {
+		if r.Dist > maxDist {
+			maxDist = r.Dist
+		}
+	}
+	peak := tr.PeakRound()
+	fmt.Printf("LeaderBFS: leader=%d, eccentricity=%d, rounds=%d\n",
+		bfs[0].Leader, maxDist, result.Stats.Rounds)
+	fmt.Printf("  peak traffic: round %d with %d messages / %d bits\n\n",
+		peak.Round, peak.Messages, peak.Bits)
+
+	// Luby's MIS (randomised).
+	net, err = congestlb.NewCongestNetwork(g, congestlb.LubyPrograms(n),
+		congestlb.CongestConfig{Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err = net.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	set := congestlb.MembershipSet(result)
+	lubyWeight, err := congestlb.VerifyIndependent(g, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Luby MIS: |set|=%d, weight=%d, rounds=%d\n", len(set), lubyWeight, result.Stats.Rounds)
+
+	// Deterministic weighted greedy.
+	net, err = congestlb.NewCongestNetwork(g, congestlb.RankGreedyPrograms(n),
+		congestlb.CongestConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err = net.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	set = congestlb.MembershipSet(result)
+	greedyWeight, err := congestlb.VerifyIndependent(g, set)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := congestlb.ExactMaxIS(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("RankGreedy: |set|=%d, weight=%d, rounds=%d\n", len(set), greedyWeight, result.Stats.Rounds)
+	fmt.Printf("\nexact OPT=%d — Luby reaches %.0f%%, greedy %.0f%%; closing the rest of the gap\n",
+		opt.Weight, 100*float64(lubyWeight)/float64(opt.Weight), 100*float64(greedyWeight)/float64(opt.Weight))
+	fmt.Println("beyond (1/2+ε) is exactly what Theorem 1 proves needs Ω(n/log³n) rounds.")
+}

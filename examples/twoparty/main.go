@@ -1,0 +1,57 @@
+// Twoparty: the limitation that motivates the whole paper. With two
+// players, "solve your own half and take the best" is a 1/2-approximation
+// costing O(log n) bits — so no two-party reduction can prove hardness at
+// or below factor 1/2. With t players the same protocol only guarantees
+// 1/t, which is why going multi-party unlocks (1/2+ε) hardness.
+//
+// Run with:
+//
+//	go run ./examples/twoparty
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"congestlb"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	fmt.Println("The split-best protocol on uniquely-intersecting hard instances:")
+	fmt.Println()
+
+	for _, p := range []congestlb.Params{
+		{T: 2, Alpha: 1, Ell: 3},
+		{T: 3, Alpha: 1, Ell: 4},
+		{T: 4, Alpha: 1, Ell: 5},
+	} {
+		fam, err := congestlb.NewLinear(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.4, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst, err := congestlb.BuildInstance(fam, in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report, err := congestlb.SplitBest(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%d (n=%d):\n", p.T, inst.Graph.N())
+		fmt.Printf("  local optima: %v\n", report.PlayerValues)
+		fmt.Printf("  best local %d vs global OPT %d → ratio %.3f (floor 1/t = %.3f)\n",
+			report.Best, report.Opt, report.Ratio(), 1/float64(p.T))
+		fmt.Printf("  communication: %d bits total — one value per player\n\n", report.Bits)
+	}
+
+	fmt.Println("Consequence: a 2-party reduction can never separate below 1/2, because this")
+	fmt.Println("protocol already achieves 1/2 with one round's worth of communication. The")
+	fmt.Println("paper's t-party framework (t = 2/ε players) weakens the barrier to 1/t and")
+	fmt.Println("proves (1/2+ε)-hardness — beyond anything reachable with Alice and Bob alone.")
+}

@@ -1,0 +1,293 @@
+// Package congest simulates the CONGEST model of distributed computing:
+// a synchronous network of n nodes with unique O(log n)-bit identifiers,
+// where in every round each node may send a (possibly different) B-bit
+// message to each of its neighbours, with B = O(log n).
+//
+// The simulator enforces the bandwidth bound bit-exactly, accounts every
+// message, and exposes a per-message hook that the reduction framework
+// (internal/core) uses to route cut-edge messages onto a communication-
+// complexity blackboard, realising the simulation argument of Theorem 5 in
+// Efron, Grossman and Khoury (PODC 2020).
+//
+// Node behaviour is written as a NodeProgram state machine. The engine can
+// run programs sequentially (fully deterministic) or with one goroutine per
+// node per round (deterministic too: message delivery is ordered by node
+// ID, and per-node randomness comes from per-node seeded generators).
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"congestlb/internal/graphs"
+)
+
+// Message is a payload sent over one edge in one round.
+type Message struct {
+	// From and To are the endpoint node IDs; To must be a neighbour of
+	// From in the network graph.
+	From, To graphs.NodeID
+	// Data is the payload; its bit size is 8*len(Data) and must not
+	// exceed the per-edge bandwidth.
+	Data []byte
+}
+
+// Bits returns the bandwidth charge of the message.
+func (m Message) Bits() int64 { return int64(len(m.Data)) * 8 }
+
+// NodeInfo is the static knowledge a node starts with: its own identifier,
+// weight, neighbourhood, the network size (a standard CONGEST assumption),
+// and a private random generator.
+type NodeInfo struct {
+	ID        graphs.NodeID
+	Weight    int64
+	Neighbors []graphs.NodeID
+	// N is the number of nodes in the network.
+	N int
+	// Rand is the node's private randomness, seeded deterministically
+	// from the engine seed and the node ID.
+	Rand *rand.Rand
+}
+
+// NodeProgram is the per-node state machine. Implementations must not
+// retain or mutate the inbox slice across calls.
+type NodeProgram interface {
+	// Init is called once before the first round.
+	Init(info NodeInfo)
+	// Round consumes the messages delivered this round (sent by
+	// neighbours in the previous round; empty in round 1) and returns the
+	// messages to send. Returning a message to a non-neighbour or two
+	// messages to the same neighbour is an error.
+	Round(round int, inbox []Message) []Message
+	// Done reports whether the node has terminated. A terminated node
+	// stops sending; the run ends when every node is done.
+	Done() bool
+	// Output returns the node's final output (algorithm-specific).
+	Output() any
+}
+
+// MessageHook observes every delivered message. The reduction framework
+// uses it to charge cut-edge messages to a blackboard.
+type MessageHook func(round int, msg Message) error
+
+// Config parameterises a simulation run.
+type Config struct {
+	// BandwidthBits is B, the per-edge per-direction bit budget per
+	// round. 0 selects the CONGEST default 32·⌈log₂(n+2)⌉ bits — a
+	// Θ(log n) bandwidth with a constant generous enough to carry a node
+	// ID plus a small header in one message even on tiny test networks.
+	BandwidthBits int64
+	// MaxRounds aborts runs that fail to terminate; 0 means 4·n²+64,
+	// comfortably above the O(n²) universal upper bound the paper cites.
+	MaxRounds int
+	// Seed drives all node randomness; runs with equal seeds are
+	// identical.
+	Seed int64
+	// Parallel selects the goroutine-per-node engine. Results are
+	// bit-identical to the sequential engine; only wall-clock differs.
+	Parallel bool
+	// Hook, if set, observes every delivered message.
+	Hook MessageHook
+}
+
+// DefaultBandwidth returns the default B for an n-node network.
+func DefaultBandwidth(n int) int64 {
+	return 32 * int64(math.Ceil(math.Log2(float64(n+2))))
+}
+
+// Stats aggregates the cost of a run.
+type Stats struct {
+	// Rounds is the number of rounds executed.
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// TotalBits is the total payload volume delivered.
+	TotalBits int64
+	// MaxMessageBits is the largest single message observed.
+	MaxMessageBits int64
+}
+
+// Result is the outcome of a completed run.
+type Result struct {
+	Stats Stats
+	// Outputs holds each node's Output(), indexed by node ID.
+	Outputs []any
+}
+
+// ErrBandwidthExceeded reports a message larger than B.
+var ErrBandwidthExceeded = errors.New("congest: message exceeds bandwidth")
+
+// ErrMaxRounds reports a run that did not terminate in time.
+var ErrMaxRounds = errors.New("congest: exceeded maximum rounds")
+
+// Network binds a graph to one NodeProgram per node.
+type Network struct {
+	g        *graphs.Graph
+	programs []NodeProgram
+	cfg      Config
+	bw       int64
+	neighbor []map[graphs.NodeID]bool // adjacency lookup per node
+}
+
+// NewNetwork validates the wiring and prepares a run. programs[u] drives
+// node u; len(programs) must equal g.N().
+func NewNetwork(g *graphs.Graph, programs []NodeProgram, cfg Config) (*Network, error) {
+	if g == nil {
+		return nil, fmt.Errorf("congest: nil graph")
+	}
+	if len(programs) != g.N() {
+		return nil, fmt.Errorf("congest: %d programs for %d nodes", len(programs), g.N())
+	}
+	for u, p := range programs {
+		if p == nil {
+			return nil, fmt.Errorf("congest: nil program at node %d", u)
+		}
+	}
+	bw := cfg.BandwidthBits
+	if bw == 0 {
+		bw = DefaultBandwidth(g.N())
+	}
+	if bw < 1 {
+		return nil, fmt.Errorf("congest: bandwidth %d bits must be >= 1", bw)
+	}
+	neighbor := make([]map[graphs.NodeID]bool, g.N())
+	for u := 0; u < g.N(); u++ {
+		set := make(map[graphs.NodeID]bool, g.Degree(u))
+		g.ForEachNeighbor(u, func(v graphs.NodeID) { set[v] = true })
+		neighbor[u] = set
+	}
+	return &Network{g: g, programs: programs, cfg: cfg, bw: bw, neighbor: neighbor}, nil
+}
+
+// Bandwidth returns the effective per-edge bit budget B.
+func (n *Network) Bandwidth() int64 { return n.bw }
+
+// Graph returns the underlying graph.
+func (n *Network) Graph() *graphs.Graph { return n.g }
+
+// Run executes the simulation to termination and returns outputs and stats.
+func (n *Network) Run() (Result, error) {
+	size := n.g.N()
+	maxRounds := n.cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*size*size + 64
+	}
+	for u := 0; u < size; u++ {
+		n.programs[u].Init(NodeInfo{
+			ID:        u,
+			Weight:    n.g.Weight(u),
+			Neighbors: n.g.Neighbors(u),
+			N:         size,
+			Rand:      rand.New(rand.NewSource(n.cfg.Seed ^ (int64(u)+1)*0x5DEECE66D)),
+		})
+	}
+
+	var stats Stats
+	inboxes := make([][]Message, size)
+	outboxes := make([][]Message, size)
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return Result{}, fmt.Errorf("%w: %d", ErrMaxRounds, maxRounds)
+		}
+		allDone := true
+		for u := 0; u < size; u++ {
+			if !n.programs[u].Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			stats.Rounds = round - 1
+			return n.collect(stats), nil
+		}
+
+		if n.cfg.Parallel {
+			n.stepParallel(round, inboxes, outboxes)
+		} else {
+			n.stepSequential(round, inboxes, outboxes)
+		}
+
+		// Validate, account, and deliver.
+		for u := 0; u < size; u++ {
+			inboxes[u] = inboxes[u][:0]
+		}
+		for u := 0; u < size; u++ {
+			seen := make(map[graphs.NodeID]bool, len(outboxes[u]))
+			for _, msg := range outboxes[u] {
+				if msg.From != u {
+					return Result{}, fmt.Errorf("congest: node %d forged sender %d in round %d", u, msg.From, round)
+				}
+				if !n.neighbor[u][msg.To] {
+					return Result{}, fmt.Errorf("congest: node %d sent to non-neighbour %d in round %d", u, msg.To, round)
+				}
+				if seen[msg.To] {
+					return Result{}, fmt.Errorf("congest: node %d sent two messages to %d in round %d", u, msg.To, round)
+				}
+				seen[msg.To] = true
+				if msg.Bits() > n.bw {
+					return Result{}, fmt.Errorf("%w: %d bits > B=%d (node %d→%d, round %d)",
+						ErrBandwidthExceeded, msg.Bits(), n.bw, msg.From, msg.To, round)
+				}
+				stats.Messages++
+				stats.TotalBits += msg.Bits()
+				if msg.Bits() > stats.MaxMessageBits {
+					stats.MaxMessageBits = msg.Bits()
+				}
+				if n.cfg.Hook != nil {
+					if err := n.cfg.Hook(round, msg); err != nil {
+						return Result{}, fmt.Errorf("congest: hook: %w", err)
+					}
+				}
+				inboxes[msg.To] = append(inboxes[msg.To], msg)
+			}
+		}
+		// Deterministic delivery order regardless of engine: sort each
+		// inbox by sender.
+		for u := 0; u < size; u++ {
+			inbox := inboxes[u]
+			sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+		}
+	}
+}
+
+// stepSequential invokes each node's Round in ID order.
+func (n *Network) stepSequential(round int, inboxes, outboxes [][]Message) {
+	for u := 0; u < n.g.N(); u++ {
+		if n.programs[u].Done() {
+			outboxes[u] = nil
+			continue
+		}
+		outboxes[u] = n.programs[u].Round(round, inboxes[u])
+	}
+}
+
+// stepParallel invokes every node's Round concurrently. Each goroutine
+// touches only its own node's state and outbox slot, and the caller waits
+// for all of them, so there are no leaks and no races.
+func (n *Network) stepParallel(round int, inboxes, outboxes [][]Message) {
+	var wg sync.WaitGroup
+	for u := 0; u < n.g.N(); u++ {
+		if n.programs[u].Done() {
+			outboxes[u] = nil
+			continue
+		}
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			outboxes[u] = n.programs[u].Round(round, inboxes[u])
+		}(u)
+	}
+	wg.Wait()
+}
+
+func (n *Network) collect(stats Stats) Result {
+	outputs := make([]any, n.g.N())
+	for u := range outputs {
+		outputs[u] = n.programs[u].Output()
+	}
+	return Result{Stats: stats, Outputs: outputs}
+}

@@ -1,0 +1,51 @@
+package congest
+
+import "testing"
+
+func TestTracerCollectsPerRoundStats(t *testing.T) {
+	g := ring(t, 8)
+	var tr Tracer
+	net, err := NewNetwork(g, floodPrograms(8), Config{Hook: tr.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := tr.Rounds()
+	if len(rounds) == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	messages, bits := tr.Total()
+	if messages != result.Stats.Messages {
+		t.Fatalf("tracer total %d messages, stats %d", messages, result.Stats.Messages)
+	}
+	if bits != result.Stats.TotalBits {
+		t.Fatalf("tracer total %d bits, stats %d", bits, result.Stats.TotalBits)
+	}
+	for i := 1; i < len(rounds); i++ {
+		if rounds[i].Round <= rounds[i-1].Round {
+			t.Fatal("rounds out of order")
+		}
+	}
+	peak := tr.PeakRound()
+	if peak.Bits == 0 {
+		t.Fatal("peak round empty")
+	}
+	tr.Reset()
+	if len(tr.Rounds()) != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestTracerZeroValue(t *testing.T) {
+	var tr Tracer
+	if peak := tr.PeakRound(); peak.Bits != 0 || peak.Round != 0 {
+		t.Fatal("zero tracer peak not zero")
+	}
+	m, b := tr.Total()
+	if m != 0 || b != 0 {
+		t.Fatal("zero tracer totals not zero")
+	}
+}

@@ -1,0 +1,116 @@
+package congestalg
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"congestlb/internal/congest"
+	"congestlb/internal/graphs"
+)
+
+// BFSResult is the per-node output of the LeaderBFS program.
+type BFSResult struct {
+	// Leader is the elected leader: the minimum node ID in the node's
+	// connected component.
+	Leader graphs.NodeID
+	// Dist is the hop distance to the leader.
+	Dist int
+	// Parent is the BFS-tree parent (-1 at the leader itself).
+	Parent graphs.NodeID
+}
+
+// LeaderBFS elects the minimum-ID node as leader and builds a BFS tree
+// rooted at it, the standard preamble of centralised CONGEST algorithms
+// (including the collect-and-solve universal algorithm). Each round every
+// active node broadcasts its best known (leader, dist) pair; improvements
+// adopt the sender as parent. The program self-terminates after n rounds,
+// by which time the flood has stabilised on any connected graph.
+//
+// Output: BFSResult.
+type LeaderBFS struct {
+	info   congest.NodeInfo
+	leader int
+	dist   int
+	parent int
+	done   bool
+}
+
+var _ congest.NodeProgram = (*LeaderBFS)(nil)
+
+// NewLeaderBFSPrograms returns one LeaderBFS program per node.
+func NewLeaderBFSPrograms(n int) []congest.NodeProgram {
+	programs := make([]congest.NodeProgram, n)
+	for i := range programs {
+		programs[i] = &LeaderBFS{}
+	}
+	return programs
+}
+
+// Init implements congest.NodeProgram.
+func (b *LeaderBFS) Init(info congest.NodeInfo) {
+	b.info = info
+	b.leader = info.ID
+	b.dist = 0
+	b.parent = -1
+}
+
+// Round implements congest.NodeProgram.
+func (b *LeaderBFS) Round(round int, inbox []congest.Message) []congest.Message {
+	for _, m := range inbox {
+		leader, dist, err := decodeBFS(m.Data)
+		if err != nil {
+			continue // tolerate garbage; flooding is self-correcting
+		}
+		if leader < b.leader || (leader == b.leader && dist+1 < b.dist) {
+			b.leader = leader
+			b.dist = dist + 1
+			b.parent = m.From
+		}
+	}
+	if round > b.info.N {
+		b.done = true
+		return nil
+	}
+	payload := encodeBFS(b.leader, b.dist)
+	out := make([]congest.Message, 0, len(b.info.Neighbors))
+	for _, v := range b.info.Neighbors {
+		out = append(out, congest.Message{From: b.info.ID, To: v, Data: payload})
+	}
+	return out
+}
+
+// Done implements congest.NodeProgram.
+func (b *LeaderBFS) Done() bool { return b.done }
+
+// Output implements congest.NodeProgram.
+func (b *LeaderBFS) Output() any {
+	return BFSResult{Leader: b.leader, Dist: b.dist, Parent: b.parent}
+}
+
+func encodeBFS(leader, dist int) []byte {
+	buf := make([]byte, 5)
+	buf[0] = wireStatus + 100 // distinct tag, private to this program
+	binary.BigEndian.PutUint16(buf[1:], uint16(leader))
+	binary.BigEndian.PutUint16(buf[3:], uint16(dist))
+	return buf
+}
+
+func decodeBFS(data []byte) (leader, dist int, err error) {
+	if len(data) != 5 || data[0] != wireStatus+100 {
+		return 0, 0, fmt.Errorf("congestalg: malformed BFS message % x", data)
+	}
+	return int(binary.BigEndian.Uint16(data[1:])), int(binary.BigEndian.Uint16(data[3:])), nil
+}
+
+// BFSResults extracts the typed outputs of a LeaderBFS run.
+func BFSResults(result congest.Result) ([]BFSResult, error) {
+	out := make([]BFSResult, len(result.Outputs))
+	for u, o := range result.Outputs {
+		r, ok := o.(BFSResult)
+		if !ok {
+			return nil, fmt.Errorf("congestalg: node %d produced %T, want BFSResult", u, o)
+		}
+		out[u] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,321 @@
+package congestalg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"congestlb/internal/congest"
+	"congestlb/internal/graphs"
+	"congestlb/internal/mis"
+)
+
+// CollectSolve is the textbook universal CONGEST algorithm behind the
+// paper's "any problem can be solved in O(n²) rounds" remark, implemented
+// as written in the textbooks rather than by gossip:
+//
+//  1. elect the min-ID leader and grow a BFS tree (n rounds);
+//  2. announce parents so every node learns its children (1 round);
+//  3. convergecast the whole graph up the tree, pipelined one record per
+//     round per tree edge, with subtree-done markers for termination;
+//  4. the root solves maximum-weight independent set locally and
+//     downcasts the membership list.
+//
+// Compared with GossipExact it sends records only on tree edges, so its
+// total traffic is Θ(n+m) records instead of Θ(m·(n+m)) — the round count
+// stays Θ(n+m+D) = O(n²).
+//
+// On disconnected graphs each component elects its own leader and solves
+// its own subgraph; the union of the per-component optima is the global
+// optimum, so outputs remain exact.
+//
+// Output: bool — membership in the computed optimum independent set.
+type CollectSolve struct {
+	info congest.NodeInfo
+
+	// BFS phase state.
+	leader, dist, parent int
+
+	// Tree structure, learned in the parent-announcement round.
+	children  []graphs.NodeID
+	childDone map[graphs.NodeID]bool
+
+	// Upcast state.
+	upQueue   [][]byte
+	ownQueued bool
+	sentDone  bool
+
+	// Root collection.
+	nodes map[int]nodeRecord
+	edges map[edgeRecord]bool
+
+	// Downcast state.
+	downQueue [][]byte
+	member    bool
+	endSeen   bool
+	failed    error
+	done      bool
+}
+
+var _ congest.NodeProgram = (*CollectSolve)(nil)
+
+// NewCollectSolvePrograms returns one CollectSolve program per node.
+func NewCollectSolvePrograms(n int) []congest.NodeProgram {
+	programs := make([]congest.NodeProgram, n)
+	for i := range programs {
+		programs[i] = &CollectSolve{}
+	}
+	return programs
+}
+
+// Wire tags private to this program (BFS reuses encodeBFS).
+const (
+	collectParent byte = 200 + iota
+	collectDone
+	collectMember
+	collectEnd
+)
+
+// Init implements congest.NodeProgram.
+func (cs *CollectSolve) Init(info congest.NodeInfo) {
+	cs.info = info
+	cs.leader = info.ID
+	cs.dist = 0
+	cs.parent = -1
+	cs.childDone = make(map[graphs.NodeID]bool)
+	cs.nodes = make(map[int]nodeRecord)
+	cs.edges = make(map[edgeRecord]bool)
+}
+
+// Round implements congest.NodeProgram.
+func (cs *CollectSolve) Round(round int, inbox []congest.Message) []congest.Message {
+	n := cs.info.N
+	switch {
+	case round <= n:
+		return cs.bfsRound(inbox)
+	case round == n+1:
+		// BFS has stabilised; announce the parent to all neighbours.
+		payload := encodeParent(cs.parent)
+		out := make([]congest.Message, 0, len(cs.info.Neighbors))
+		for _, v := range cs.info.Neighbors {
+			out = append(out, congest.Message{From: cs.info.ID, To: v, Data: payload})
+		}
+		return out
+	default:
+		return cs.treeRound(inbox)
+	}
+}
+
+func (cs *CollectSolve) bfsRound(inbox []congest.Message) []congest.Message {
+	for _, m := range inbox {
+		leader, dist, err := decodeBFS(m.Data)
+		if err != nil {
+			continue
+		}
+		if leader < cs.leader || (leader == cs.leader && dist+1 < cs.dist) {
+			cs.leader = leader
+			cs.dist = dist + 1
+			cs.parent = m.From
+		}
+	}
+	payload := encodeBFS(cs.leader, cs.dist)
+	out := make([]congest.Message, 0, len(cs.info.Neighbors))
+	for _, v := range cs.info.Neighbors {
+		out = append(out, congest.Message{From: cs.info.ID, To: v, Data: payload})
+	}
+	return out
+}
+
+// treeRound drives the upcast and downcast phases.
+func (cs *CollectSolve) treeRound(inbox []congest.Message) []congest.Message {
+	for _, m := range inbox {
+		cs.consume(m)
+	}
+	if cs.failed != nil {
+		cs.done = true
+		return nil
+	}
+	if !cs.ownQueued {
+		cs.queueOwnRecords()
+	}
+	var out []congest.Message
+
+	// Upcast: one item per round toward the parent.
+	if cs.parent != -1 {
+		switch {
+		case len(cs.upQueue) > 0:
+			out = append(out, congest.Message{From: cs.info.ID, To: cs.parent, Data: cs.upQueue[0]})
+			cs.upQueue = cs.upQueue[1:]
+		case !cs.sentDone && cs.allChildrenDone():
+			out = append(out, congest.Message{From: cs.info.ID, To: cs.parent, Data: []byte{collectDone}})
+			cs.sentDone = true
+		}
+	} else if cs.downQueue == nil && cs.allChildrenDone() && len(cs.upQueue) == 0 {
+		// Root with a complete picture: solve and start the downcast.
+		cs.solveAtRoot()
+	}
+
+	// Downcast: broadcast one item per round to every child.
+	if len(cs.downQueue) > 0 {
+		item := cs.downQueue[0]
+		cs.downQueue = cs.downQueue[1:]
+		for _, child := range cs.children {
+			out = append(out, congest.Message{From: cs.info.ID, To: child, Data: item})
+		}
+		if len(cs.downQueue) == 0 && cs.endSeen {
+			cs.done = true
+		}
+	} else if cs.endSeen && cs.parent != -1 {
+		cs.done = true
+	}
+	return out
+}
+
+// consume dispatches one received message by tag.
+func (cs *CollectSolve) consume(m congest.Message) {
+	if len(m.Data) == 0 {
+		return
+	}
+	switch m.Data[0] {
+	case collectParent:
+		if decodeParent(m.Data) == cs.info.ID {
+			cs.children = append(cs.children, m.From)
+		}
+	case collectDone:
+		cs.childDone[m.From] = true
+	case wireNode, wireEdge:
+		if cs.parent == -1 {
+			cs.storeRecord(m.Data)
+		} else {
+			cs.upQueue = append(cs.upQueue, m.Data)
+		}
+	case collectMember:
+		id := int(binary.BigEndian.Uint16(m.Data[1:]))
+		if id == cs.info.ID {
+			cs.member = true
+		}
+		if len(cs.children) > 0 {
+			cs.downQueue = append(cs.downQueue, m.Data)
+		}
+	case collectEnd:
+		cs.endSeen = true
+		if len(cs.children) > 0 {
+			cs.downQueue = append(cs.downQueue, m.Data)
+		}
+	}
+}
+
+// queueOwnRecords seeds the upcast (or root store) with this node's own
+// record and its owned edges (those toward higher IDs).
+func (cs *CollectSolve) queueOwnRecords() {
+	cs.ownQueued = true
+	own := [][]byte{encodeNodeRecord(nodeRecord{
+		id:     cs.info.ID,
+		weight: cs.info.Weight,
+		degree: len(cs.info.Neighbors),
+	})}
+	for _, v := range cs.info.Neighbors {
+		if cs.info.ID < v {
+			own = append(own, encodeEdgeRecord(edgeRecord{u: cs.info.ID, v: v}))
+		}
+	}
+	if cs.parent == -1 {
+		for _, item := range own {
+			cs.storeRecord(item)
+		}
+		return
+	}
+	cs.upQueue = append(cs.upQueue, own...)
+}
+
+func (cs *CollectSolve) storeRecord(data []byte) {
+	nr, er, err := decodeRecord(data)
+	if err != nil {
+		cs.failed = err
+		return
+	}
+	if nr != nil {
+		cs.nodes[nr.id] = *nr
+	}
+	if er != nil {
+		cs.edges[*er] = true
+	}
+}
+
+func (cs *CollectSolve) allChildrenDone() bool {
+	for _, c := range cs.children {
+		if !cs.childDone[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// solveAtRoot rebuilds the component's subgraph, solves it exactly, and
+// fills the downcast queue with the membership list.
+func (cs *CollectSolve) solveAtRoot() {
+	ids := make([]int, 0, len(cs.nodes))
+	for id := range cs.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	local := make(map[int]int, len(ids))
+	sub := graphs.New(len(ids))
+	for i, id := range ids {
+		local[id] = i
+		sub.MustAddNode(fmt.Sprintf("n%d", id), cs.nodes[id].weight)
+	}
+	for e := range cs.edges {
+		lu, okU := local[e.u]
+		lv, okV := local[e.v]
+		if !okU || !okV {
+			cs.failed = fmt.Errorf("congestalg: collect at %d: edge {%d,%d} with unknown endpoint",
+				cs.info.ID, e.u, e.v)
+			return
+		}
+		if err := sub.AddEdge(lu, lv); err != nil {
+			cs.failed = fmt.Errorf("congestalg: collect at %d: %w", cs.info.ID, err)
+			return
+		}
+	}
+	sol, err := mis.Exact(sub, mis.Options{})
+	if err != nil {
+		cs.failed = fmt.Errorf("congestalg: collect at %d: solve: %w", cs.info.ID, err)
+		return
+	}
+	cs.downQueue = make([][]byte, 0, len(sol.Set)+1)
+	for _, lu := range sol.Set {
+		id := ids[lu]
+		if id == cs.info.ID {
+			cs.member = true
+		}
+		item := make([]byte, 3)
+		item[0] = collectMember
+		binary.BigEndian.PutUint16(item[1:], uint16(id))
+		cs.downQueue = append(cs.downQueue, item)
+	}
+	cs.downQueue = append(cs.downQueue, []byte{collectEnd})
+	cs.endSeen = true
+}
+
+// Done implements congest.NodeProgram.
+func (cs *CollectSolve) Done() bool { return cs.done }
+
+// Output implements congest.NodeProgram.
+func (cs *CollectSolve) Output() any {
+	if cs.failed != nil {
+		return cs.failed
+	}
+	return cs.member
+}
+
+func encodeParent(parent int) []byte {
+	buf := make([]byte, 3)
+	buf[0] = collectParent
+	binary.BigEndian.PutUint16(buf[1:], uint16(parent+1)) // -1 maps to 0
+	return buf
+}
+
+func decodeParent(data []byte) int {
+	return int(binary.BigEndian.Uint16(data[1:])) - 1
+}

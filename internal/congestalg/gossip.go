@@ -1,0 +1,216 @@
+package congestalg
+
+import (
+	"fmt"
+	"sort"
+
+	"congestlb/internal/congest"
+	"congestlb/internal/graphs"
+	"congestlb/internal/mis"
+)
+
+// GossipExact learns the entire graph at every node by pipelined gossip and
+// then solves maximum-weight independent set locally with the exact solver.
+// It realises the universal upper bound the paper cites ("any problem can
+// be solved in O(n²) rounds in the CONGEST model"): each edge carries one
+// record per round, there are n node records and m edge records, so the
+// algorithm finishes in O(n + m + D) = O(n²) rounds.
+//
+// Termination detection is information-theoretic rather than coordinated:
+// node records carry degrees, so once a node holds all n node records it
+// knows m = Σdeg/2 and can tell when its edge-record collection is
+// complete.
+//
+// Output: []graphs.NodeID — the (identical) optimum independent set
+// computed at every node, or an error value if the local solve failed.
+type GossipExact struct {
+	info congest.NodeInfo
+
+	nodes map[int]nodeRecord
+	edges map[edgeRecord]bool
+
+	// sendQueue[v] holds encoded records not yet forwarded to neighbour v.
+	sendQueue map[graphs.NodeID][][]byte
+
+	solved bool
+	result []graphs.NodeID
+	errVal error
+}
+
+var _ congest.NodeProgram = (*GossipExact)(nil)
+
+// NewGossipExactPrograms returns one GossipExact program per node.
+func NewGossipExactPrograms(n int) []congest.NodeProgram {
+	programs := make([]congest.NodeProgram, n)
+	for i := range programs {
+		programs[i] = &GossipExact{}
+	}
+	return programs
+}
+
+// Init implements congest.NodeProgram.
+func (g *GossipExact) Init(info congest.NodeInfo) {
+	g.info = info
+	g.nodes = make(map[int]nodeRecord, info.N)
+	g.edges = make(map[edgeRecord]bool)
+	g.sendQueue = make(map[graphs.NodeID][][]byte, len(info.Neighbors))
+
+	self := nodeRecord{id: info.ID, weight: info.Weight, degree: len(info.Neighbors)}
+	g.nodes[info.ID] = self
+	g.enqueueForAll(encodeNodeRecord(self), -1)
+	for _, v := range info.Neighbors {
+		if info.ID < v {
+			e := edgeRecord{u: info.ID, v: v}
+			g.edges[e] = true
+			g.enqueueForAll(encodeEdgeRecord(e), -1)
+		}
+	}
+}
+
+// enqueueForAll queues payload for every neighbour except the source it
+// came from (-1 for own records).
+func (g *GossipExact) enqueueForAll(payload []byte, except graphs.NodeID) {
+	for _, v := range g.info.Neighbors {
+		if v == except {
+			continue
+		}
+		g.sendQueue[v] = append(g.sendQueue[v], payload)
+	}
+}
+
+// Round implements congest.NodeProgram.
+func (g *GossipExact) Round(round int, inbox []congest.Message) []congest.Message {
+	for _, m := range inbox {
+		nr, er, err := decodeRecord(m.Data)
+		if err != nil {
+			g.fail(fmt.Errorf("gossip at node %d: %w", g.info.ID, err))
+			return nil
+		}
+		switch {
+		case nr != nil:
+			if _, known := g.nodes[nr.id]; !known {
+				g.nodes[nr.id] = *nr
+				g.enqueueForAll(m.Data, m.From)
+			}
+		case er != nil:
+			if !g.edges[*er] {
+				g.edges[*er] = true
+				g.enqueueForAll(m.Data, m.From)
+			}
+		}
+	}
+
+	out := make([]congest.Message, 0, len(g.info.Neighbors))
+	for _, v := range g.info.Neighbors {
+		queue := g.sendQueue[v]
+		if len(queue) == 0 {
+			continue
+		}
+		out = append(out, congest.Message{From: g.info.ID, To: v, Data: queue[0]})
+		g.sendQueue[v] = queue[1:]
+	}
+
+	if !g.solved && g.complete() {
+		g.solve()
+	}
+	return out
+}
+
+// complete reports whether the full graph is known locally.
+func (g *GossipExact) complete() bool {
+	if len(g.nodes) != g.info.N {
+		return false
+	}
+	degSum := 0
+	for _, r := range g.nodes {
+		degSum += r.degree
+	}
+	return len(g.edges) == degSum/2
+}
+
+// solve reconstructs the graph and runs the exact MaxIS solver. Every node
+// performs the identical deterministic computation, so all outputs agree.
+func (g *GossipExact) solve() {
+	g.solved = true
+	rebuilt := graphs.New(g.info.N)
+	for id := 0; id < g.info.N; id++ {
+		r, ok := g.nodes[id]
+		if !ok {
+			g.fail(fmt.Errorf("gossip at node %d: node record %d missing", g.info.ID, id))
+			return
+		}
+		rebuilt.MustAddNode(fmt.Sprintf("n%d", id), r.weight)
+	}
+	for e := range g.edges {
+		if err := rebuilt.AddEdge(e.u, e.v); err != nil {
+			g.fail(fmt.Errorf("gossip at node %d: rebuild edge: %w", g.info.ID, err))
+			return
+		}
+	}
+	sol, err := mis.Exact(rebuilt, mis.Options{})
+	if err != nil {
+		g.fail(fmt.Errorf("gossip at node %d: local solve: %w", g.info.ID, err))
+		return
+	}
+	set := append([]graphs.NodeID(nil), sol.Set...)
+	sort.Ints(set)
+	g.result = set
+}
+
+func (g *GossipExact) fail(err error) {
+	g.solved = true
+	g.errVal = err
+}
+
+// Done implements congest.NodeProgram: finished once solved and with all
+// queues drained.
+func (g *GossipExact) Done() bool {
+	if !g.solved {
+		return false
+	}
+	for _, q := range g.sendQueue {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Output implements congest.NodeProgram.
+func (g *GossipExact) Output() any {
+	if g.errVal != nil {
+		return g.errVal
+	}
+	return g.result
+}
+
+// ExactSetFromOutputs extracts the common solution from a GossipExact run,
+// verifying that every node agrees.
+func ExactSetFromOutputs(result congest.Result) ([]graphs.NodeID, error) {
+	var ref []graphs.NodeID
+	for u, out := range result.Outputs {
+		switch val := out.(type) {
+		case error:
+			return nil, fmt.Errorf("congestalg: node %d failed: %w", u, val)
+		case []graphs.NodeID:
+			if ref == nil {
+				ref = val
+				continue
+			}
+			if len(val) != len(ref) {
+				return nil, fmt.Errorf("congestalg: node %d disagrees on solution size", u)
+			}
+			for i := range val {
+				if val[i] != ref[i] {
+					return nil, fmt.Errorf("congestalg: node %d disagrees on solution", u)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("congestalg: node %d produced unexpected output %T", u, out)
+		}
+	}
+	if ref == nil {
+		return nil, fmt.Errorf("congestalg: no outputs")
+	}
+	return ref, nil
+}

@@ -1,0 +1,249 @@
+package congestalg
+
+import (
+	"congestlb/internal/congest"
+	"congestlb/internal/graphs"
+)
+
+// Luby is the randomised maximal-independent-set program. Phases take two
+// rounds: in draw rounds every undecided node broadcasts a fresh random
+// value; in decide rounds a node whose (value, ID) is a strict local
+// maximum among undecided neighbours joins the set, and nodes adjacent to a
+// joiner drop out at the start of the next draw round.
+//
+// Ties are impossible because the comparison key includes the node ID, so
+// every undecided neighbourhood makes progress and the program terminates
+// in at most n phases (O(log n) in expectation).
+//
+// Output: bool — membership in the constructed maximal independent set.
+type Luby struct {
+	info  congest.NodeInfo
+	state byte
+	value uint32
+	// neighborState/neighborValue mirror the latest broadcast of each
+	// neighbour.
+	neighborState map[graphs.NodeID]byte
+	neighborValue map[graphs.NodeID]uint32
+}
+
+var _ congest.NodeProgram = (*Luby)(nil)
+
+// NewLubyPrograms returns one Luby program per node of an n-node network.
+func NewLubyPrograms(n int) []congest.NodeProgram {
+	programs := make([]congest.NodeProgram, n)
+	for i := range programs {
+		programs[i] = &Luby{}
+	}
+	return programs
+}
+
+// Init implements congest.NodeProgram.
+func (l *Luby) Init(info congest.NodeInfo) {
+	l.info = info
+	l.state = stateUndecided
+	l.neighborState = make(map[graphs.NodeID]byte, len(info.Neighbors))
+	l.neighborValue = make(map[graphs.NodeID]uint32, len(info.Neighbors))
+	for _, v := range info.Neighbors {
+		l.neighborState[v] = stateUndecided
+	}
+	// Isolated nodes join immediately.
+	if len(info.Neighbors) == 0 {
+		l.state = stateIn
+	}
+}
+
+// Round implements congest.NodeProgram.
+func (l *Luby) Round(round int, inbox []congest.Message) []congest.Message {
+	for _, m := range inbox {
+		state, value, err := decodeStatus(m.Data)
+		if err != nil {
+			// A malformed message indicates a simulator bug; halting the
+			// node surfaces it as missing progress in tests.
+			l.state = stateOut
+			continue
+		}
+		l.neighborState[m.From] = state
+		l.neighborValue[m.From] = value
+	}
+
+	if round%2 == 1 { // draw round
+		// React to joins announced in the previous decide round.
+		if l.state == stateUndecided {
+			for _, st := range l.neighborState {
+				if st == stateIn {
+					l.state = stateOut
+					break
+				}
+			}
+		}
+		if l.state == stateUndecided {
+			l.value = uint32(l.info.Rand.Int31())
+		}
+	} else { // decide round
+		if l.state == stateUndecided && l.localMax() {
+			l.state = stateIn
+		}
+	}
+	return l.broadcastStatus()
+}
+
+// localMax reports whether (value, ID) strictly dominates every undecided
+// neighbour's latest draw.
+func (l *Luby) localMax() bool {
+	for v, st := range l.neighborState {
+		if st != stateUndecided {
+			continue
+		}
+		nv := l.neighborValue[v]
+		if nv > l.value || (nv == l.value && v > l.info.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *Luby) broadcastStatus() []congest.Message {
+	out := make([]congest.Message, 0, len(l.info.Neighbors))
+	payload := encodeStatus(l.state, l.value)
+	for _, v := range l.info.Neighbors {
+		out = append(out, congest.Message{From: l.info.ID, To: v, Data: payload})
+	}
+	return out
+}
+
+// Done implements congest.NodeProgram: a node halts once it is decided and
+// knows all neighbours are decided too.
+func (l *Luby) Done() bool {
+	if l.state == stateUndecided {
+		return false
+	}
+	for _, st := range l.neighborState {
+		if st == stateUndecided {
+			return false
+		}
+	}
+	return true
+}
+
+// Output implements congest.NodeProgram.
+func (l *Luby) Output() any { return l.state == stateIn }
+
+// RankGreedy is the deterministic weighted MIS program: the rank of a node
+// is the static pair (weight, ID), and an undecided node joins when it
+// dominates all undecided neighbours. It emulates the sequential greedy
+// algorithm that scans nodes in decreasing weight order.
+//
+// Output: bool — membership in the constructed maximal independent set.
+type RankGreedy struct {
+	info  congest.NodeInfo
+	state byte
+	// rank is weight truncated to 32 bits; the simulator's constructions
+	// use weights ≤ ℓ which fit comfortably.
+	rank          uint32
+	neighborState map[graphs.NodeID]byte
+	neighborRank  map[graphs.NodeID]uint32
+	heardFrom     map[graphs.NodeID]bool
+}
+
+var _ congest.NodeProgram = (*RankGreedy)(nil)
+
+// NewRankGreedyPrograms returns one RankGreedy program per node.
+func NewRankGreedyPrograms(n int) []congest.NodeProgram {
+	programs := make([]congest.NodeProgram, n)
+	for i := range programs {
+		programs[i] = &RankGreedy{}
+	}
+	return programs
+}
+
+// Init implements congest.NodeProgram.
+func (r *RankGreedy) Init(info congest.NodeInfo) {
+	r.info = info
+	r.state = stateUndecided
+	r.rank = uint32(info.Weight)
+	r.neighborState = make(map[graphs.NodeID]byte, len(info.Neighbors))
+	r.neighborRank = make(map[graphs.NodeID]uint32, len(info.Neighbors))
+	r.heardFrom = make(map[graphs.NodeID]bool, len(info.Neighbors))
+	for _, v := range info.Neighbors {
+		r.neighborState[v] = stateUndecided
+	}
+	if len(info.Neighbors) == 0 {
+		r.state = stateIn
+	}
+}
+
+// Round implements congest.NodeProgram.
+func (r *RankGreedy) Round(round int, inbox []congest.Message) []congest.Message {
+	for _, m := range inbox {
+		state, rank, err := decodeStatus(m.Data)
+		if err != nil {
+			r.state = stateOut
+			continue
+		}
+		r.neighborState[m.From] = state
+		r.neighborRank[m.From] = rank
+		r.heardFrom[m.From] = true
+	}
+
+	// Round 1 only announces ranks; decisions start once every neighbour's
+	// rank is known (round ≥ 2).
+	if round >= 2 && r.state == stateUndecided {
+		for _, st := range r.neighborState {
+			if st == stateIn {
+				r.state = stateOut
+				break
+			}
+		}
+	}
+	if round >= 2 && r.state == stateUndecided && len(r.heardFrom) == len(r.info.Neighbors) && r.localMax() {
+		r.state = stateIn
+	}
+
+	out := make([]congest.Message, 0, len(r.info.Neighbors))
+	payload := encodeStatus(r.state, r.rank)
+	for _, v := range r.info.Neighbors {
+		out = append(out, congest.Message{From: r.info.ID, To: v, Data: payload})
+	}
+	return out
+}
+
+func (r *RankGreedy) localMax() bool {
+	for v, st := range r.neighborState {
+		if st != stateUndecided {
+			continue
+		}
+		nr := r.neighborRank[v]
+		if nr > r.rank || (nr == r.rank && v > r.info.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// Done implements congest.NodeProgram.
+func (r *RankGreedy) Done() bool {
+	if r.state == stateUndecided {
+		return false
+	}
+	for _, st := range r.neighborState {
+		if st == stateUndecided {
+			return false
+		}
+	}
+	return true
+}
+
+// Output implements congest.NodeProgram.
+func (r *RankGreedy) Output() any { return r.state == stateIn }
+
+// MembershipSet extracts the independent set from a run of Luby or
+// RankGreedy programs: the IDs of all nodes whose output is true.
+func MembershipSet(result congest.Result) []graphs.NodeID {
+	var set []graphs.NodeID
+	for u, out := range result.Outputs {
+		if member, ok := out.(bool); ok && member {
+			set = append(set, u)
+		}
+	}
+	return set
+}

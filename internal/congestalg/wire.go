@@ -1,0 +1,115 @@
+// Package congestalg implements CONGEST algorithms for (approximate)
+// maximum independent set, written against the internal/congest simulator:
+//
+//   - Luby: the classical randomised maximal-independent-set algorithm
+//     (local maximum of fresh random draws), O(log n) phases w.h.p.
+//   - RankGreedy: the deterministic weighted variant — a node joins when
+//     its (weight, ID) rank is a local maximum among undecided neighbours;
+//     it computes the sequential greedy-by-weight MIS distributively.
+//   - GossipExact: every node learns the entire graph by pipelined gossip
+//     (one record per edge per round) and solves MaxIS locally — the
+//     universal "any problem is solvable in O(n²) rounds" upper bound the
+//     paper cites to frame its near-quadratic lower bound.
+//
+// These are the concrete algorithms that the reduction framework
+// (internal/core) feeds through Theorem 5's simulation argument, and the
+// baselines for the upper-bound experiments.
+package congestalg
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire formats are deliberately compact so every message fits in the
+// simulator's default Θ(log n) bandwidth: node IDs use 2 bytes (n < 65536)
+// and weights 4 bytes.
+
+const (
+	wireStatus byte = iota + 1 // state byte + value
+	wireNode                   // node record: id, weight, degree
+	wireEdge                   // edge record: u, v
+)
+
+// node states shared by Luby and RankGreedy.
+const (
+	stateUndecided byte = iota + 1
+	stateIn
+	stateOut
+)
+
+// encodeStatus packs (state, value32) into 6 bytes.
+func encodeStatus(state byte, value uint32) []byte {
+	buf := make([]byte, 6)
+	buf[0] = wireStatus
+	buf[1] = state
+	binary.BigEndian.PutUint32(buf[2:], value)
+	return buf
+}
+
+// decodeStatus unpacks a status message.
+func decodeStatus(data []byte) (state byte, value uint32, err error) {
+	if len(data) != 6 || data[0] != wireStatus {
+		return 0, 0, fmt.Errorf("congestalg: malformed status message % x", data)
+	}
+	return data[1], binary.BigEndian.Uint32(data[2:]), nil
+}
+
+// nodeRecord is a gossiped "I exist" record.
+type nodeRecord struct {
+	id     int
+	weight int64
+	degree int
+}
+
+// edgeRecord is a gossiped edge, u < v.
+type edgeRecord struct {
+	u, v int
+}
+
+// encodeNodeRecord packs a node record into 9 bytes.
+func encodeNodeRecord(r nodeRecord) []byte {
+	buf := make([]byte, 9)
+	buf[0] = wireNode
+	binary.BigEndian.PutUint16(buf[1:], uint16(r.id))
+	binary.BigEndian.PutUint32(buf[3:], uint32(r.weight))
+	binary.BigEndian.PutUint16(buf[7:], uint16(r.degree))
+	return buf
+}
+
+// encodeEdgeRecord packs an edge record into 5 bytes.
+func encodeEdgeRecord(r edgeRecord) []byte {
+	buf := make([]byte, 5)
+	buf[0] = wireEdge
+	binary.BigEndian.PutUint16(buf[1:], uint16(r.u))
+	binary.BigEndian.PutUint16(buf[3:], uint16(r.v))
+	return buf
+}
+
+// decodeRecord unpacks either record type, returning exactly one of them.
+func decodeRecord(data []byte) (*nodeRecord, *edgeRecord, error) {
+	if len(data) == 0 {
+		return nil, nil, fmt.Errorf("congestalg: empty record")
+	}
+	switch data[0] {
+	case wireNode:
+		if len(data) != 9 {
+			return nil, nil, fmt.Errorf("congestalg: malformed node record % x", data)
+		}
+		return &nodeRecord{
+			id:     int(binary.BigEndian.Uint16(data[1:])),
+			weight: int64(binary.BigEndian.Uint32(data[3:])),
+			degree: int(binary.BigEndian.Uint16(data[7:])),
+		}, nil, nil
+	case wireEdge:
+		if len(data) != 5 {
+			return nil, nil, fmt.Errorf("congestalg: malformed edge record % x", data)
+		}
+		return nil, &edgeRecord{
+			u: int(binary.BigEndian.Uint16(data[1:])),
+			v: int(binary.BigEndian.Uint16(data[3:])),
+		}, nil
+	default:
+		return nil, nil, fmt.Errorf("congestalg: unknown record type %d", data[0])
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math"
+
+	"congestlb/internal/cc"
+)
+
+// This file holds the arithmetic of Corollary 1 and Theorems 1-2: the
+// round lower bounds obtained by dividing the communication complexity of
+// promise pairwise disjointness by the per-round information capacity of
+// the cut.
+
+// RoundLowerBound evaluates Corollary 1:
+//
+//	rounds = CC_f(k,t) / (|cut| · log₂|V|)
+//
+// with CC_f(k,t) = k/(t·log₂t) per Theorem 3. All quantities are reported
+// with constant factors 1 (the paper's bounds are asymptotic).
+func RoundLowerBound(k, t, cut, n int) float64 {
+	if cut <= 0 || n < 2 {
+		return 0
+	}
+	return cc.LowerBoundBits(k, t) / (float64(cut) * math.Log2(float64(n)))
+}
+
+// Theorem1Bound is the headline linear bound Ω(n/log³n) for
+// (1/2+ε)-approximate MaxIS, evaluated with constant 1.
+func Theorem1Bound(n float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	l := math.Log2(n)
+	return n / (l * l * l)
+}
+
+// Theorem2Bound is the headline quadratic bound Ω(n²/log³n) for
+// (3/4+ε)-approximate MaxIS, evaluated with constant 1.
+func Theorem2Bound(n float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	l := math.Log2(n)
+	return n * n / (l * l * l)
+}
+
+// PriorLinearBound is Bachrach et al.'s Ω(n/log⁶n) bound for
+// (5/6+ε)-approximation, included for the comparison tables.
+func PriorLinearBound(n float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	l := math.Log2(n)
+	return n / math.Pow(l, 6)
+}
+
+// PriorQuadraticBound is Bachrach et al.'s Ω(n²/log⁷n) bound for
+// (7/8+ε)-approximation.
+func PriorQuadraticBound(n float64) float64 {
+	if n < 2 {
+		return 0
+	}
+	l := math.Log2(n)
+	return n * n / math.Pow(l, 7)
+}
+
+// TwoPartyApproximationFloor returns the approximation factor below which
+// the t-party framework cannot prove hardness: 1/t (Section 1's limitation
+// argument — the players can locally compute optima of their own parts and
+// take the best, a (1/t)-approximation costing O(t·log n) bits).
+func TwoPartyApproximationFloor(t int) float64 {
+	if t < 1 {
+		return 0
+	}
+	return 1 / float64(t)
+}
+
+// PlayersForEpsilon returns the paper's choice of t for a target ε:
+// the first integer ≥ 2/ε for the linear family (Lemma 2: (1/2+ε)), and
+// the first integer ≥ 3/(4ε) - 1 for the quadratic family (Lemma 3:
+// (3/4+ε)).
+func PlayersForEpsilon(epsilon float64, quadratic bool) int {
+	if epsilon <= 0 {
+		return 0
+	}
+	var t float64
+	if quadratic {
+		t = 3/(4*epsilon) - 1
+	} else {
+		t = 2 / epsilon
+	}
+	n := int(math.Ceil(t))
+	if n < 2 {
+		n = 2
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/cc"
+	"congestlb/internal/congest"
+	"congestlb/internal/graphs"
+)
+
+// SimulationReport is the outcome of one run of the Theorem 5 simulation:
+// a CONGEST algorithm executed on G_x̄ with every cut-crossing message
+// written to a shared blackboard.
+type SimulationReport struct {
+	// Family and Players identify the construction.
+	Family  string
+	Players int
+	// N and CutSize describe the instance.
+	N       int
+	CutSize int
+	// Bandwidth is the CONGEST per-edge bit budget B.
+	Bandwidth int64
+	// Rounds is the number of CONGEST rounds the algorithm used (T).
+	Rounds int
+	// BlackboardBits is the transcript length of the induced protocol —
+	// the quantity Theorem 5 bounds by Rounds·CutSize·Bandwidth.
+	BlackboardBits int64
+	// BlackboardWrites is the number of cut-crossing messages.
+	BlackboardWrites int64
+	// CongestTotalBits is the total volume sent on all edges (local
+	// simulation included), for contrast with BlackboardBits.
+	CongestTotalBits int64
+	// AccountingBound is Rounds·CutSize·Bandwidth.
+	AccountingBound int64
+	// Opt is the MaxIS value extracted from the algorithm's outputs.
+	Opt int64
+	// Decision is the protocol's answer to promise pairwise disjointness,
+	// derived from Opt through the family's gap predicate.
+	Decision bool
+	// Truth is the ground-truth function value.
+	Truth bool
+}
+
+// AccountingHolds reports the Theorem 5 inequality
+// BlackboardBits ≤ Rounds·CutSize·Bandwidth.
+func (r SimulationReport) AccountingHolds() bool {
+	return r.BlackboardBits <= r.AccountingBound
+}
+
+// Correct reports whether the induced protocol answered correctly.
+func (r SimulationReport) Correct() bool { return r.Decision == r.Truth }
+
+// ProgramFactory builds the CONGEST node programs that will run on a built
+// instance (one program per node).
+type ProgramFactory func(inst Instance) []congest.NodeProgram
+
+// OptExtractor interprets the outputs of a finished run as the MaxIS value
+// of the instance (e.g. the weight of the set computed by GossipExact).
+type OptExtractor func(result congest.Result, inst Instance) (int64, error)
+
+// Simulate realises Theorem 5 for one input vector: it builds G_x̄, runs
+// the given CONGEST algorithm on it, routes every message crossing the
+// player partition onto a cc.Blackboard, and decides the promise pairwise
+// disjointness function from the algorithm's output via the gap predicate.
+//
+// The returned report carries both sides of the accounting identity — the
+// actual transcript length and the Rounds·|cut|·B bound — so callers (and
+// tests) can confirm the inequality the paper's lower bounds rest on.
+func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptExtractor, cfg congest.Config) (SimulationReport, error) {
+	truth, err := in.PromisePairwiseDisjointness()
+	if err != nil {
+		return SimulationReport{}, fmt.Errorf("core: inputs: %w", err)
+	}
+	inst, err := fam.Build(in)
+	if err != nil {
+		return SimulationReport{}, fmt.Errorf("core: build: %w", err)
+	}
+	g, part := inst.Graph, inst.Partition
+
+	var board cc.Blackboard
+	var writes int64
+	userHook := cfg.Hook
+	cfg.Hook = func(round int, msg congest.Message) error {
+		if part.Of(msg.From) != part.Of(msg.To) {
+			// The owner of the sender writes the message on the shared
+			// blackboard, where the owner of the receiver reads it.
+			label := fmt.Sprintf("r%d:%d->%d", round, msg.From, msg.To)
+			if err := board.Write(part.Of(msg.From), label, msg.Data, msg.Bits()); err != nil {
+				return err
+			}
+			writes++
+		}
+		if userHook != nil {
+			return userHook(round, msg)
+		}
+		return nil
+	}
+
+	programs := factory(inst)
+	net, err := congest.NewNetwork(g, programs, cfg)
+	if err != nil {
+		return SimulationReport{}, fmt.Errorf("core: network: %w", err)
+	}
+	result, err := net.Run()
+	if err != nil {
+		return SimulationReport{}, fmt.Errorf("core: run: %w", err)
+	}
+	opt, err := extract(result, inst)
+	if err != nil {
+		return SimulationReport{}, fmt.Errorf("core: extract: %w", err)
+	}
+	decision, err := fam.Gap().Decide(opt)
+	if err != nil {
+		return SimulationReport{}, err
+	}
+
+	cut := part.CutSize(g)
+	report := SimulationReport{
+		Family:           fam.Name(),
+		Players:          fam.Players(),
+		N:                g.N(),
+		CutSize:          cut,
+		Bandwidth:        net.Bandwidth(),
+		Rounds:           result.Stats.Rounds,
+		BlackboardBits:   board.Bits(),
+		BlackboardWrites: writes,
+		CongestTotalBits: result.Stats.TotalBits,
+		AccountingBound:  int64(result.Stats.Rounds) * int64(cut) * net.Bandwidth(),
+		Opt:              opt,
+		Decision:         decision,
+		Truth:            truth,
+	}
+	return report, nil
+}
+
+// CutEdgesOf is a convenience wrapper exposing the partition cut of an
+// instance (the c of the r·c·log n accounting).
+func CutEdgesOf(inst Instance) []graphs.Edge {
+	return inst.Partition.CutEdges(inst.Graph)
+}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/core"
+	"congestlb/internal/lbgraph"
+)
+
+func TestSplitBestAchievesOneOverT(t *testing.T) {
+	// The limitation protocol must achieve ≥ 1/t of the optimum with only
+	// t·64 bits, on both promise cases and for several t.
+	for _, p := range []lbgraph.Params{
+		{T: 2, Alpha: 1, Ell: 3},
+		{T: 3, Alpha: 1, Ell: 4},
+		lbgraph.FigureParams(4),
+	} {
+		l, err := lbgraph.NewLinear(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(p.T)))
+		for trial := 0; trial < 3; trial++ {
+			in, _, err := bitvec.RandomPromiseInstance(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, 0.5, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := l.Build(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			report, err := core.SplitBest(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Bits != int64(p.T)*64 {
+				t.Fatalf("%v: protocol cost %d bits, want %d", p, report.Bits, p.T*64)
+			}
+			if report.Best > report.Opt {
+				t.Fatalf("%v: local best %d exceeds global opt %d", p, report.Best, report.Opt)
+			}
+			floor := 1 / float64(p.T)
+			if report.Ratio() < floor {
+				t.Fatalf("%v: ratio %f below 1/t = %f", p, report.Ratio(), floor)
+			}
+			if len(report.PlayerValues) != p.T {
+				t.Fatalf("%v: %d player values", p, len(report.PlayerValues))
+			}
+		}
+	}
+}
+
+func TestSplitBestTwoPartyHalf(t *testing.T) {
+	// At t=2 the protocol always achieves ≥ 1/2 — the exact limitation the
+	// paper's Section 1 describes for the two-party framework.
+	p := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
+	l, err := lbgraph.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 6; trial++ {
+		in, _, err := bitvec.RandomPromiseInstance(p.K(), p.T, bitvec.GenOptions{Density: 0.5}, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := l.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		report, err := core.SplitBest(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Ratio() < 0.5 {
+			t.Fatalf("trial %d: two-party split-best ratio %f < 1/2", trial, report.Ratio())
+		}
+	}
+}

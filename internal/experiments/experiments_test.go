@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// DESIGN.md's experiment index: every ID must be present.
+	want := []string{
+		"figure1", "figure2", "figure3", "figure4", "figure5", "figure6",
+		"codes", "properties",
+		"lemma1", "lemma2", "lemma3",
+		"theorem1", "theorem2", "theorem3", "theorem5",
+		"cutsize", "twoparty", "remark1", "upperbounds",
+		"ablations", "diameter", "solver", "scaling",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(All()), len(want), IDs())
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	ids := IDs()
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("IDs not sorted: %v", ids)
+		}
+	}
+}
+
+func TestByIDMissing(t *testing.T) {
+	if _, ok := ByID("no-such-experiment"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+// TestEveryExperimentRunsClean executes each experiment and requires all
+// internal assertions to pass and a non-trivial report to be produced.
+func TestEveryExperimentRunsClean(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("experiment %s failed: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("experiment %s produced almost no output: %q", e.ID, out)
+			}
+			if !strings.Contains(out, "|") {
+				t.Fatalf("experiment %s produced no table", e.ID)
+			}
+		})
+	}
+}
+
+func TestRunAllAggregates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAll(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range All() {
+		if !strings.Contains(out, "## "+e.ID) {
+			t.Errorf("combined report missing section for %s", e.ID)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := newTable("a", "b")
+	tab.add(1, 2.5)
+	tab.add("x", true)
+	var buf bytes.Buffer
+	tab.write(&buf)
+	out := buf.String()
+	for _, want := range []string{"| a | b |", "|---|---|", "| 1 | 2.5 |", "| x | true |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckCollectsFailures(t *testing.T) {
+	var c check
+	c.assert(true, "fine")
+	if c.err() != nil {
+		t.Fatal("no failures should yield nil")
+	}
+	c.assert(false, "bad %d", 1)
+	c.assert(false, "bad %d", 2)
+	err := c.err()
+	if err == nil {
+		t.Fatal("failures should yield error")
+	}
+	if !strings.Contains(err.Error(), "bad 1") || !strings.Contains(err.Error(), "bad 2") {
+		t.Fatalf("error missing failures: %v", err)
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register(Experiment{ID: "figure1", Run: func(io.Writer) error { return nil }})
+}

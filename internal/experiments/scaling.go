@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/congest"
+	"congestlb/internal/core"
+	"congestlb/internal/lbgraph"
+)
+
+// The scaling experiment runs the full Theorem 5 reduction at increasing
+// instance sizes and reports how the accounting quantities move: k grows
+// linearly with n while the cut stays polylogarithmic — the shape that
+// turns the communication bound into a near-linear round bound.
+
+func init() {
+	register(Experiment{
+		ID:       "scaling",
+		Title:    "Reduction accounting across instance sizes",
+		PaperRef: "Theorems 1 and 5 (the shape of the bound)",
+		Run:      runScaling,
+	})
+}
+
+func runScaling(w io.Writer) error {
+	var c check
+	rng := rand.New(rand.NewSource(73))
+	tab := newTable("params", "n", "k", "∣cut∣", "rounds T", "blackboard bits", "bound T·∣cut∣·B", "utilisation")
+	for _, p := range []lbgraph.Params{
+		{T: 2, Alpha: 1, Ell: 3}, // n=48,  k=4
+		{T: 3, Alpha: 1, Ell: 4}, // n=90,  k=5
+		{T: 4, Alpha: 1, Ell: 5}, // n=192, k=6
+	} {
+		l, err := lbgraph.NewLinear(p)
+		if err != nil {
+			return err
+		}
+		in, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
+		if err != nil {
+			return err
+		}
+		// CollectSolve keeps the sweep fast: its traffic rides the BFS
+		// tree instead of flooding every edge.
+		report, err := core.Simulate(l, in, core.CollectPrograms, core.WitnessOpt, congest.Config{Seed: 11})
+		if err != nil {
+			return err
+		}
+		c.assert(report.AccountingHolds(), "%v: accounting violated", p)
+		c.assert(report.Correct(), "%v: wrong decision", p)
+		util := float64(report.BlackboardBits) / float64(report.AccountingBound)
+		tab.add(p.String(), report.N, p.K(), report.CutSize, report.Rounds,
+			report.BlackboardBits, report.AccountingBound, util)
+	}
+	tab.write(w)
+	fmt.Fprintf(w, "As the construction grows, k tracks n while the cut stays polylogarithmic in k — the "+
+		"T·|cut|·B budget therefore forces T to grow nearly linearly in n once the Ω(k/(t log t)) "+
+		"communication bound must fit through the cut. The utilisation column shows the actual algorithm "+
+		"using only a fraction of the budget: the bound is conservative in the right direction.\n")
+	return c.err()
+}

@@ -1,0 +1,312 @@
+package field
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsComposite(t *testing.T) {
+	tests := []struct {
+		name string
+		p    uint64
+		ok   bool
+	}{
+		{name: "zero", p: 0, ok: false},
+		{name: "one", p: 1, ok: false},
+		{name: "two", p: 2, ok: true},
+		{name: "three", p: 3, ok: true},
+		{name: "four", p: 4, ok: false},
+		{name: "seventeen", p: 17, ok: true},
+		{name: "large prime", p: 2147483647, ok: true},
+		{name: "large composite", p: 2147483649, ok: false},
+		{name: "carmichael 561", p: 561, ok: false},
+		{name: "carmichael 41041", p: 41041, ok: false},
+		{name: "mersenne 2^61-1", p: (1 << 61) - 1, ok: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New(tt.p)
+			if (err == nil) != tt.ok {
+				t.Fatalf("New(%d) error = %v, want ok=%v", tt.p, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestMustNewPanicsOnComposite(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(4) did not panic")
+		}
+	}()
+	MustNew(4)
+}
+
+func TestFieldAxiomsSmall(t *testing.T) {
+	// Exhaustively check the field axioms for a few small primes.
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13} {
+		f := MustNew(p)
+		for x := uint64(0); x < p; x++ {
+			for y := uint64(0); y < p; y++ {
+				if got, want := f.Add(x, y), (x+y)%p; got != want {
+					t.Fatalf("GF(%d): Add(%d,%d)=%d want %d", p, x, y, got, want)
+				}
+				if got, want := f.Mul(x, y), (x*y)%p; got != want {
+					t.Fatalf("GF(%d): Mul(%d,%d)=%d want %d", p, x, y, got, want)
+				}
+				if got, want := f.Sub(x, y), (x+p-y)%p; got != want {
+					t.Fatalf("GF(%d): Sub(%d,%d)=%d want %d", p, x, y, got, want)
+				}
+			}
+			if x != 0 {
+				inv := f.Inv(x)
+				if f.Mul(x, inv) != 1%p {
+					t.Fatalf("GF(%d): %d * Inv(%d)=%d != 1", p, x, x, f.Mul(x, inv))
+				}
+			}
+			if got, want := f.Add(x, f.Neg(x)), uint64(0); got != want {
+				t.Fatalf("GF(%d): x + (-x) = %d, want 0", p, got)
+			}
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	f := MustNew(7)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	f.Inv(0)
+}
+
+func TestMulNoOverflow(t *testing.T) {
+	// Products near the top of the 64-bit range must not wrap.
+	p := uint64((1 << 61) - 1) // Mersenne prime
+	f := MustNew(p)
+	x, y := p-1, p-2
+	// (p-1)(p-2) mod p = (-1)(-2) = 2.
+	if got := f.Mul(x, y); got != 2 {
+		t.Fatalf("Mul near 2^61: got %d want 2", got)
+	}
+	if got := f.Mul(p-1, p-1); got != 1 {
+		t.Fatalf("(p-1)^2 mod p: got %d want 1", got)
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := MustNew(13)
+	tests := []struct {
+		x, e, want uint64
+	}{
+		{x: 0, e: 0, want: 1},
+		{x: 0, e: 5, want: 0},
+		{x: 2, e: 0, want: 1},
+		{x: 2, e: 12, want: 1}, // Fermat
+		{x: 3, e: 3, want: 1},  // 27 mod 13
+		{x: 5, e: 2, want: 12},
+	}
+	for _, tt := range tests {
+		if got := f.Pow(tt.x, tt.e); got != tt.want {
+			t.Errorf("Pow(%d,%d)=%d want %d", tt.x, tt.e, got, tt.want)
+		}
+	}
+}
+
+func TestEvalPoly(t *testing.T) {
+	f := MustNew(11)
+	// p(x) = 3 + 2x + x^2
+	coeffs := []uint64{3, 2, 1}
+	for x := uint64(0); x < 11; x++ {
+		want := (3 + 2*x + x*x) % 11
+		if got := f.EvalPoly(coeffs, x); got != want {
+			t.Fatalf("EvalPoly at %d: got %d want %d", x, got, want)
+		}
+	}
+	if got := f.EvalPoly(nil, 5); got != 0 {
+		t.Fatalf("EvalPoly(nil) = %d, want 0", got)
+	}
+}
+
+func TestEvalPolyReducesCoefficients(t *testing.T) {
+	f := MustNew(7)
+	if got, want := f.EvalPoly([]uint64{14, 8}, 3), uint64((0+1*3)%7); got != want {
+		t.Fatalf("EvalPoly with non-canonical coeffs: got %d want %d", got, want)
+	}
+}
+
+func TestIsPrimeAgainstSieve(t *testing.T) {
+	const limit = 10000
+	sieve := make([]bool, limit) // sieve[i] true means composite
+	for i := 2; i*i < limit; i++ {
+		if sieve[i] {
+			continue
+		}
+		for j := i * i; j < limit; j += i {
+			sieve[j] = true
+		}
+	}
+	for n := uint64(0); n < limit; n++ {
+		want := n >= 2 && !sieve[n]
+		if got := IsPrime(n); got != want {
+			t.Fatalf("IsPrime(%d)=%v want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPrime(t *testing.T) {
+	tests := []struct {
+		n, want uint64
+	}{
+		{n: 0, want: 2},
+		{n: 2, want: 2},
+		{n: 3, want: 3},
+		{n: 4, want: 5},
+		{n: 8, want: 11},
+		{n: 9, want: 11},
+		{n: 11, want: 11},
+		{n: 14, want: 17},
+		{n: 90, want: 97},
+		{n: 1000, want: 1009},
+	}
+	for _, tt := range tests {
+		if got := NextPrime(tt.n); got != tt.want {
+			t.Errorf("NextPrime(%d)=%d want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPrevPrime(t *testing.T) {
+	tests := []struct {
+		n, want uint64
+	}{
+		{n: 0, want: 0},
+		{n: 1, want: 0},
+		{n: 2, want: 2},
+		{n: 3, want: 3},
+		{n: 4, want: 3},
+		{n: 10, want: 7},
+		{n: 100, want: 97},
+	}
+	for _, tt := range tests {
+		if got := PrevPrime(tt.n); got != tt.want {
+			t.Errorf("PrevPrime(%d)=%d want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestNextPrimeIsBertrand(t *testing.T) {
+	// Bertrand's postulate: for n >= 1 there is a prime in (n, 2n]. The
+	// alphabet-size argument in DESIGN.md relies on q = NextPrime(M) < 2M.
+	for n := uint64(2); n < 2000; n++ {
+		q := NextPrime(n)
+		if q >= 2*n {
+			t.Fatalf("NextPrime(%d) = %d violates Bertrand bound", n, q)
+		}
+	}
+}
+
+// Property-based tests.
+
+func TestFieldPropertiesQuick(t *testing.T) {
+	f := MustNew(104729) // 10000th prime
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Rand:     rand.New(rand.NewSource(1)),
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(r.Uint64() % f.P())
+			}
+		},
+	}
+
+	t.Run("mul distributes over add", func(t *testing.T) {
+		prop := func(a, b, c uint64) bool {
+			return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("add commutes and associates", func(t *testing.T) {
+		prop := func(a, b, c uint64) bool {
+			return f.Add(a, b) == f.Add(b, a) &&
+				f.Add(f.Add(a, b), c) == f.Add(a, f.Add(b, c))
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("mul commutes and associates", func(t *testing.T) {
+		prop := func(a, b, c uint64) bool {
+			return f.Mul(a, b) == f.Mul(b, a) &&
+				f.Mul(f.Mul(a, b), c) == f.Mul(a, f.Mul(b, c))
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("sub inverts add", func(t *testing.T) {
+		prop := func(a, b, c uint64) bool {
+			return f.Sub(f.Add(a, b), b) == a
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("div inverts mul for nonzero", func(t *testing.T) {
+		prop := func(a, b, c uint64) bool {
+			if b == 0 {
+				return true
+			}
+			return f.Div(f.Mul(a, b), b) == a
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("fermat little theorem", func(t *testing.T) {
+		prop := func(a, b, c uint64) bool {
+			if a == 0 {
+				return true
+			}
+			return f.Pow(a, f.P()-1) == 1
+		}
+		if err := quick.Check(prop, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestElements(t *testing.T) {
+	f := MustNew(5)
+	elems := f.Elements()
+	if len(elems) != 5 {
+		t.Fatalf("Elements length = %d, want 5", len(elems))
+	}
+	for i, e := range elems {
+		if e != uint64(i) {
+			t.Fatalf("Elements[%d] = %d", i, e)
+		}
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	f := MustNew((1 << 61) - 1)
+	x, y := uint64(123456789123456789), uint64(987654321987654321)%f.P()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkIsPrime(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		IsPrime((1 << 61) - 1)
+	}
+}

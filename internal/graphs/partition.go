@@ -1,0 +1,119 @@
+package graphs
+
+import "fmt"
+
+// Partition assigns every node of a graph to one of t players, realising
+// the V = ∪̇_{i∈[t]} V^i decomposition of Definition 4. Players are
+// numbered 0..t-1 (the paper's p_1..p_t shifted to 0-based).
+type Partition struct {
+	owner []int
+	t     int
+}
+
+// NewPartition creates a partition of n nodes among t players, all
+// initially owned by player 0.
+func NewPartition(n, t int) (*Partition, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graphs: negative node count %d", n)
+	}
+	if t < 1 {
+		return nil, fmt.Errorf("graphs: partition needs t >= 1 players, got %d", t)
+	}
+	return &Partition{owner: make([]int, n), t: t}, nil
+}
+
+// MustNewPartition is NewPartition panicking on error.
+func MustNewPartition(n, t int) *Partition {
+	p, err := NewPartition(n, t)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// T returns the number of players.
+func (p *Partition) T() int { return p.t }
+
+// N returns the number of nodes covered.
+func (p *Partition) N() int { return len(p.owner) }
+
+// Assign gives node u to player i.
+func (p *Partition) Assign(u NodeID, i int) error {
+	if u < 0 || u >= len(p.owner) {
+		return fmt.Errorf("graphs: node %d out of partition range [0,%d)", u, len(p.owner))
+	}
+	if i < 0 || i >= p.t {
+		return fmt.Errorf("graphs: player %d out of range [0,%d)", i, p.t)
+	}
+	p.owner[u] = i
+	return nil
+}
+
+// MustAssign is Assign panicking on error.
+func (p *Partition) MustAssign(u NodeID, i int) {
+	if err := p.Assign(u, i); err != nil {
+		panic(err)
+	}
+}
+
+// Of returns the player owning node u.
+func (p *Partition) Of(u NodeID) int { return p.owner[u] }
+
+// PlayerNodes returns the sorted node IDs owned by player i.
+func (p *Partition) PlayerNodes(i int) []NodeID {
+	var out []NodeID
+	for u, o := range p.owner {
+		if o == i {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Sizes returns the number of nodes per player.
+func (p *Partition) Sizes() []int {
+	sizes := make([]int, p.t)
+	for _, o := range p.owner {
+		sizes[o]++
+	}
+	return sizes
+}
+
+// Validate checks the partition covers exactly the graph's nodes.
+func (p *Partition) Validate(g *Graph) error {
+	if len(p.owner) != g.N() {
+		return fmt.Errorf("graphs: partition covers %d nodes, graph has %d", len(p.owner), g.N())
+	}
+	return nil
+}
+
+// CutEdges returns the edges crossing player boundaries:
+// cut(G) = E \ ∪_i (V^i × V^i).
+func (p *Partition) CutEdges(g *Graph) []Edge {
+	var out []Edge
+	for _, e := range g.Edges() {
+		if p.owner[e.U] != p.owner[e.V] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CutSize returns |cut(G)| without materialising the edge list.
+func (p *Partition) CutSize(g *Graph) int {
+	size := 0
+	for u := 0; u < g.N(); u++ {
+		g.ForEachNeighbor(u, func(v NodeID) {
+			if u < v && p.owner[u] != p.owner[v] {
+				size++
+			}
+		})
+	}
+	return size
+}
+
+// Clone returns a deep copy of the partition.
+func (p *Partition) Clone() *Partition {
+	out := &Partition{owner: append([]int(nil), p.owner...), t: p.t}
+	return out
+}

@@ -1,0 +1,180 @@
+package lbgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/code"
+)
+
+// The ablation tests demonstrate that each design choice of the
+// construction is load-bearing: removing it breaks the gap predicate that
+// the faithful construction provably satisfies (Claims 1-7).
+
+func TestAblationWeakCodeBreaksClaim5(t *testing.T) {
+	// With a distance-1 code, Property 2's matching disappears: on a
+	// disjoint input the independent set can keep both players' codeword
+	// nodes in every shared position, exceeding the Claim 5 bound that
+	// the faithful construction respects.
+	p := Params{T: 2, Alpha: 1, Ell: 4} // M=5, q=5, k=5
+	weak, err := code.NewFirstSymbol(p.Q(), p.M())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := NewLinearVariant(p, LinearOptions{Code: weak})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint input with a weight-ℓ node on each side: x¹ = 10000,
+	// x² = 01000.
+	x1 := bitvec.New(p.K())
+	x1.Set(0)
+	x2 := bitvec.New(p.K())
+	x2.Set(1)
+	in := bitvec.Inputs{x1, x2}
+	if !in.PairwiseDisjoint() {
+		t.Fatal("inputs should be disjoint")
+	}
+	inst, err := fam.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exactOpt(t, inst)
+	if opt <= p.LinearSmallMax() {
+		t.Fatalf("weak code: disjoint OPT %d did not exceed SmallMax %d — ablation had no effect",
+			opt, p.LinearSmallMax())
+	}
+
+	// Control: the faithful construction keeps the same input below the
+	// bound.
+	faithful, err := NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instF, err := faithful.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optF := exactOpt(t, instF)
+	if optF > p.LinearSmallMax() {
+		t.Fatalf("faithful construction violated Claim 5: %d > %d", optF, p.LinearSmallMax())
+	}
+}
+
+func TestAblationNoWiringDestroysGap(t *testing.T) {
+	// Without the inter-copy wiring, every player's {v^i_m} ∪ Code^i_m is
+	// globally independent, so even pairwise-disjoint inputs reach the
+	// Beta threshold — the predicate no longer separates.
+	p := Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := NewLinearVariant(p, LinearOptions{OmitInterCopyWiring: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x1 := bitvec.New(p.K())
+	x1.Set(0)
+	x2 := bitvec.New(p.K())
+	x2.Set(1)
+	in := bitvec.Inputs{x1, x2}
+	inst, err := fam.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := exactOpt(t, inst)
+	if opt < p.LinearBeta() {
+		t.Fatalf("no-wiring: disjoint OPT %d below Beta %d — wiring was not load-bearing?",
+			opt, p.LinearBeta())
+	}
+}
+
+func TestAblationUniformWeightsEqualizeCases(t *testing.T) {
+	// With input-independent weights the two promise cases have identical
+	// optima: the graph no longer encodes x̄ at all (in the linear family
+	// the inputs act only through weights).
+	p := Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := NewLinearVariant(p, LinearOptions{UniformWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	inter, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := bitvec.RandomPairwiseDisjoint(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instI, err := fam.Build(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instD, err := fam.Build(dis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optI, optD := exactOpt(t, instI), exactOpt(t, instD)
+	if optI != optD {
+		t.Fatalf("uniform weights: intersecting OPT %d != disjoint OPT %d", optI, optD)
+	}
+}
+
+func TestVariantValidation(t *testing.T) {
+	p := Params{T: 2, Alpha: 1, Ell: 3} // M=4, q=5, k=4
+	t.Run("wrong code length", func(t *testing.T) {
+		short, err := code.NewRepetition(5, 3) // M=3 != 4
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewLinearVariant(p, LinearOptions{Code: short}); err == nil {
+			t.Fatal("wrong-length code accepted")
+		}
+	})
+	t.Run("too few messages", func(t *testing.T) {
+		tiny, err := code.NewFirstSymbol(3, 4) // 3 messages < k=4... but q=3 ≤ 5 ok
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewLinearVariant(p, LinearOptions{Code: tiny}); err == nil {
+			t.Fatal("too-small code accepted")
+		}
+	})
+	t.Run("alphabet too large", func(t *testing.T) {
+		big, err := code.NewRepetition(11, 4) // q=11 > 5
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewLinearVariant(p, LinearOptions{Code: big}); err == nil {
+			t.Fatal("oversized alphabet accepted")
+		}
+	})
+}
+
+func TestVariantNamesDistinguish(t *testing.T) {
+	p := Params{T: 2, Alpha: 1, Ell: 3}
+	faithful, err := NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := NewLinearVariant(p, LinearOptions{OmitInterCopyWiring: true, UniformWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faithful.Name() == ablated.Name() {
+		t.Fatal("variant names identical")
+	}
+}
+
+func TestFirstSymbolCodeProperties(t *testing.T) {
+	weak, err := code.NewFirstSymbol(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := code.AuditExhaustive(weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.MinDistance != 1 {
+		t.Fatalf("FirstSymbol min distance = %d, want 1", report.MinDistance)
+	}
+}

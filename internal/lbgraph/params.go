@@ -1,0 +1,168 @@
+// Package lbgraph builds the lower-bound graph families of Efron, Grossman
+// and Khoury (PODC 2020): the linear family G_x̄ of Section 4 (Theorem 1)
+// and the quadratic family F_x̄ of Section 5 (Theorem 2), together with the
+// Remark 1 unweighted blow-up.
+//
+// # Parameterisation
+//
+// The constructions are driven by three integers: the number of players t,
+// and the code parameters α and ℓ. From these derive
+//
+//   - M = ℓ+α, the code length — the number of code-gadget cliques per copy;
+//   - q, the alphabet size — the paper uses q = M; we use the smallest
+//     prime q ≥ M so Reed-Solomon applies, making each code-gadget clique
+//     have q nodes (Bertrand: q < 2M, so all asymptotics are unchanged,
+//     and none of Properties 1-3 or Claims 1-7 are affected — their proofs
+//     only use "an independent set holds at most one node per clique" and
+//     "distinct codewords disagree in ≥ ℓ positions");
+//   - k = M^α, the number of codewords used — the size of each clique A^i
+//     and the per-player input length (k² for the quadratic family).
+//
+// The paper's asymptotic schedule ℓ = log k − log k/log log k,
+// α = log k/log log k is realised by ParamsForK.
+package lbgraph
+
+import (
+	"fmt"
+	"math"
+
+	"congestlb/internal/field"
+)
+
+// MaxK bounds the clique size k; beyond this the Θ(k²) clique edges make
+// instances unbuildable in memory anyway.
+const MaxK = 1 << 16
+
+// Params selects one member of the family of constructions.
+type Params struct {
+	// T is the number of players, t ≥ 2.
+	T int
+	// Alpha is the code message length α ≥ 1.
+	Alpha int
+	// Ell is the guaranteed code distance ℓ ≥ 1 (and the weight given to
+	// selected clique nodes).
+	Ell int
+}
+
+// Validate checks the parameters define a buildable construction.
+func (p Params) Validate() error {
+	if p.T < 2 {
+		return fmt.Errorf("lbgraph: t=%d must be >= 2", p.T)
+	}
+	if p.Alpha < 1 {
+		return fmt.Errorf("lbgraph: alpha=%d must be >= 1", p.Alpha)
+	}
+	if p.Ell < 1 {
+		return fmt.Errorf("lbgraph: ell=%d must be >= 1", p.Ell)
+	}
+	if k := p.K(); k < 1 || k > MaxK {
+		return fmt.Errorf("lbgraph: k=(ℓ+α)^α=%d out of range [1,%d]", k, MaxK)
+	}
+	return nil
+}
+
+// M returns the code length ℓ+α (number of code-gadget cliques per copy).
+func (p Params) M() int { return p.Ell + p.Alpha }
+
+// Q returns the alphabet size: the smallest prime ≥ M. Each code-gadget
+// clique C^i_h has Q nodes.
+func (p Params) Q() int { return int(field.NextPrime(uint64(p.M()))) }
+
+// K returns k = M^α, the size of each clique A^i. Overflow saturates above
+// MaxK (which Validate rejects).
+func (p Params) K() int {
+	k := 1
+	for i := 0; i < p.Alpha; i++ {
+		k *= p.M()
+		if k > MaxK {
+			return MaxK + 1
+		}
+	}
+	return k
+}
+
+// NodesPerCopy returns |V_H| = k + M·q for one copy of the base graph H.
+func (p Params) NodesPerCopy() int { return p.K() + p.M()*p.Q() }
+
+// LinearN returns |V| = t·(k + M·q) for the linear construction.
+func (p Params) LinearN() int { return p.T * p.NodesPerCopy() }
+
+// QuadraticN returns |V| = 2t·(k + M·q) for the quadratic construction.
+func (p Params) QuadraticN() int { return 2 * p.LinearN() }
+
+// LinearBeta is the intersecting-case MaxIS lower threshold of Claim 3:
+// t(2ℓ+α).
+func (p Params) LinearBeta() int64 {
+	return int64(p.T) * (2*int64(p.Ell) + int64(p.Alpha))
+}
+
+// LinearSmallMax is the pairwise-disjoint-case MaxIS upper bound of
+// Claim 5: (t+1)ℓ + αt².
+func (p Params) LinearSmallMax() int64 {
+	t := int64(p.T)
+	return (t+1)*int64(p.Ell) + int64(p.Alpha)*t*t
+}
+
+// LinearGapValid reports whether the linear predicate separates, which
+// happens exactly when ℓ > αt.
+func (p Params) LinearGapValid() bool { return p.LinearBeta() > p.LinearSmallMax() }
+
+// QuadraticBeta is the intersecting-case threshold of Claim 6: t(4ℓ+2α).
+func (p Params) QuadraticBeta() int64 {
+	return int64(p.T) * (4*int64(p.Ell) + 2*int64(p.Alpha))
+}
+
+// QuadraticSmallMax is the disjoint-case upper bound of Claim 7:
+// 3(t+1)ℓ + 3αt³.
+func (p Params) QuadraticSmallMax() int64 {
+	t := int64(p.T)
+	return 3*(t+1)*int64(p.Ell) + 3*int64(p.Alpha)*t*t*t
+}
+
+// QuadraticGapValid reports whether the quadratic predicate separates.
+func (p Params) QuadraticGapValid() bool { return p.QuadraticBeta() > p.QuadraticSmallMax() }
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("t=%d α=%d ℓ=%d (M=%d q=%d k=%d)", p.T, p.Alpha, p.Ell, p.M(), p.Q(), p.K())
+}
+
+// FigureParams returns the preset used throughout the paper's figures:
+// ℓ=2, α=1, hence M=q=3 and k=3, with C(1)="2,3,1".
+func FigureParams(t int) Params {
+	return Params{T: t, Alpha: 1, Ell: 2}
+}
+
+// ParamsForK approximates the paper's asymptotic schedule for a target k:
+// α ≈ log k/log log k and ℓ ≈ log k − α, rounded to integers with
+// k = (ℓ+α)^α re-derived. The returned Params' K() is the closest
+// realisable k, not necessarily the target.
+func ParamsForK(targetK, t int) (Params, error) {
+	if targetK < 2 {
+		return Params{}, fmt.Errorf("lbgraph: target k=%d must be >= 2", targetK)
+	}
+	lk := math.Log2(float64(targetK))
+	llk := math.Log2(lk)
+	alpha := 1
+	if llk > 1 {
+		alpha = int(math.Round(lk / llk))
+		if alpha < 1 {
+			alpha = 1
+		}
+	}
+	m := int(math.Round(math.Pow(float64(targetK), 1/float64(alpha))))
+	if m < alpha+1 {
+		m = alpha + 1
+	}
+	p := Params{T: t, Alpha: alpha, Ell: m - alpha}
+	if err := p.Validate(); err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// SmallestValidLinear returns the smallest-ℓ parameterisation with a valid
+// linear gap for the given t and α (ℓ = αt+1).
+func SmallestValidLinear(t, alpha int) Params {
+	return Params{T: t, Alpha: alpha, Ell: alpha*t + 1}
+}

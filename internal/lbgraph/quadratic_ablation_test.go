@@ -1,0 +1,97 @@
+package lbgraph
+
+import (
+	"testing"
+
+	"congestlb/internal/bitvec"
+)
+
+// allOnes returns t all-ones k²-bit strings (uniquely intersecting, no
+// input edges in the faithful construction).
+func allOnes(p Params) bitvec.Inputs {
+	in := make(bitvec.Inputs, p.T)
+	for i := range in {
+		m := bitvec.NewMatrix(p.K())
+		m.SetAll()
+		in[i] = m.Vector()
+	}
+	return in
+}
+
+func TestQuadraticInvertedEdgesDestroyWitness(t *testing.T) {
+	p := FigureParams(2)
+	inverted, err := NewQuadraticVariant(p, QuadraticOptions{InvertInputEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := inverted.Build(allOnes(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-ones input now adds ALL k² edges per player; the witness pair
+	// v^(i,1)_m1, v^(i,2)_m2 is wired for every (m1,m2).
+	opt := exactOpt(t, inst)
+	if opt >= p.QuadraticBeta() {
+		t.Fatalf("inverted edges: OPT %d still reaches Beta %d", opt, p.QuadraticBeta())
+	}
+
+	// Control: the faithful family keeps the witness.
+	faithful, err := NewQuadratic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instF, err := faithful.Build(allOnes(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt := exactOpt(t, instF); opt < p.QuadraticBeta() {
+		t.Fatalf("faithful family lost the witness: %d < %d", opt, p.QuadraticBeta())
+	}
+}
+
+func TestQuadraticOmitInputEdgesDecouples(t *testing.T) {
+	p := FigureParams(2)
+	fam, err := NewQuadraticVariant(p, QuadraticOptions{OmitInputEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intersecting (all ones) and disjoint (all zeros) inputs must build
+	// identical graphs.
+	interInst, err := fam.Build(allOnes(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := make(bitvec.Inputs, p.T)
+	for i := range zeros {
+		zeros[i] = bitvec.New(p.K() * p.K())
+	}
+	disInst, err := fam.Build(zeros)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interInst.Graph.M() != disInst.Graph.M() {
+		t.Fatalf("edge counts differ: %d vs %d", interInst.Graph.M(), disInst.Graph.M())
+	}
+	if exactOpt(t, interInst) != exactOpt(t, disInst) {
+		t.Fatal("optima differ despite decoupled inputs")
+	}
+}
+
+func TestQuadraticVariantNames(t *testing.T) {
+	p := FigureParams(2)
+	a, err := NewQuadraticVariant(p, QuadraticOptions{InvertInputEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewQuadraticVariant(p, QuadraticOptions{OmitInputEdges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewQuadratic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() == f.Name() || b.Name() == f.Name() || a.Name() == b.Name() {
+		t.Fatalf("variant names not distinct: %q %q %q", a.Name(), b.Name(), f.Name())
+	}
+}

@@ -1,0 +1,252 @@
+package lbgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/core"
+	"congestlb/internal/mis"
+)
+
+func mustQuadratic(t *testing.T, p Params) *Quadratic {
+	t.Helper()
+	f, err := NewQuadratic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// allOnesInputs returns t all-ones strings of length k² (no input edges).
+func allOnesInputs(p Params) bitvec.Inputs {
+	in := make(bitvec.Inputs, p.T)
+	for i := range in {
+		m := bitvec.NewMatrix(p.K())
+		m.SetAll()
+		in[i] = m.Vector()
+	}
+	return in
+}
+
+func TestQuadraticFixedStructure(t *testing.T) {
+	p := FigureParams(2)
+	f := mustQuadratic(t, p)
+	inst, err := f.BuildFixed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, part := inst.Graph, inst.Partition
+	if g.N() != p.QuadraticN() {
+		t.Fatalf("N = %d, want %d", g.N(), p.QuadraticN())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, size := range part.Sizes() {
+		if size != 2*p.NodesPerCopy() {
+			t.Fatalf("player %d owns %d nodes, want %d", i, size, 2*p.NodesPerCopy())
+		}
+	}
+	// Cut is twice the linear cut (one copy of the wiring per b).
+	wantCut := 2 * (p.T * (p.T - 1) / 2) * p.M() * p.Q() * (p.Q() - 1)
+	if got := part.CutSize(g); got != wantCut {
+		t.Fatalf("cut = %d, want %d", got, wantCut)
+	}
+	// A-clique nodes have fixed weight ℓ; code nodes weight 1.
+	if g.Weight(f.ANode(0, 0, 0)) != int64(p.Ell) {
+		t.Fatalf("A-node weight = %d, want ℓ=%d", g.Weight(f.ANode(0, 0, 0)), p.Ell)
+	}
+	if g.Weight(f.SigmaNode(1, 1, 0, 0)) != 1 {
+		t.Fatal("code node weight != 1")
+	}
+	// No fixed edges between the two halves' A cliques.
+	for m1 := 0; m1 < p.K(); m1++ {
+		for m2 := 0; m2 < p.K(); m2++ {
+			if g.HasEdge(f.ANode(0, 0, m1), f.ANode(0, 1, m2)) {
+				t.Fatal("fixed graph contains input edges")
+			}
+		}
+	}
+	// Code gadgets of different halves are never wired.
+	if g.HasEdge(f.SigmaNode(0, 0, 0, 0), f.SigmaNode(1, 1, 0, 1)) {
+		t.Fatal("cross-half code wiring exists")
+	}
+}
+
+func TestQuadraticInputEdgesFollowZeroBits(t *testing.T) {
+	// Figure 6's example: the (1,1) bit of x¹ is 0, everything else 1 →
+	// exactly one input edge, between v^(1,1)_1 and v^(1,2)_1.
+	p := FigureParams(2)
+	f := mustQuadratic(t, p)
+	in := allOnesInputs(p)
+	m0, err := bitvec.MatrixFromVector(in[0], p.K())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0.Clear(0, 0)
+	inst, err := f.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inst.Graph
+	if !g.HasEdge(f.ANode(0, 0, 0), f.ANode(0, 1, 0)) {
+		t.Fatal("zero bit did not create its input edge")
+	}
+	count := 0
+	for i := 0; i < p.T; i++ {
+		for m1 := 0; m1 < p.K(); m1++ {
+			for m2 := 0; m2 < p.K(); m2++ {
+				if g.HasEdge(f.ANode(i, 0, m1), f.ANode(i, 1, m2)) {
+					count++
+				}
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("input edge count = %d, want 1", count)
+	}
+}
+
+func TestQuadraticInputValidation(t *testing.T) {
+	f := mustQuadratic(t, FigureParams(2))
+	if _, err := f.Build(bitvec.Inputs{bitvec.New(9)}); err == nil {
+		t.Fatal("wrong player count accepted")
+	}
+	if _, err := f.Build(bitvec.Inputs{bitvec.New(3), bitvec.New(3)}); err == nil {
+		t.Fatal("length k (not k²) accepted")
+	}
+}
+
+func TestQuadraticWitnessWeightEqualsBeta(t *testing.T) {
+	for _, p := range []Params{FigureParams(2), FigureParams(3), {T: 2, Alpha: 1, Ell: 4}} {
+		f := mustQuadratic(t, p)
+		rng := rand.New(rand.NewSource(21))
+		in, _, err := bitvec.RandomUniquelyIntersecting(f.InputBits(), p.T, bitvec.GenOptions{Density: 0.2}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := f.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		witness, err := f.WitnessLarge(in, inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weight, err := mis.Verify(inst.Graph, witness)
+		if err != nil {
+			t.Fatalf("%v: witness invalid: %v", p, err)
+		}
+		if weight < p.QuadraticBeta() {
+			t.Fatalf("%v: witness weight %d < Beta %d", p, weight, p.QuadraticBeta())
+		}
+	}
+}
+
+func TestClaim6ExactlyOnSmallInstance(t *testing.T) {
+	// Claim 6: uniquely intersecting at (m1,m2) → MaxIS ≥ 4tℓ+2αt.
+	p := FigureParams(2)
+	f := mustQuadratic(t, p)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		in, _, err := bitvec.RandomUniquelyIntersecting(f.InputBits(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := f.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := exactOpt(t, inst)
+		if opt < p.QuadraticBeta() {
+			t.Fatalf("trial %d: OPT %d < Beta %d", trial, opt, p.QuadraticBeta())
+		}
+	}
+}
+
+func TestClaim7BoundOnDisjointInstances(t *testing.T) {
+	// Claim 7: pairwise disjoint → MaxIS ≤ 3(t+1)ℓ + 3αt³. At small
+	// parameters the bound is loose; exact optima must stay under it.
+	for _, p := range []Params{FigureParams(2), FigureParams(3)} {
+		f := mustQuadratic(t, p)
+		rng := rand.New(rand.NewSource(37))
+		for trial := 0; trial < 4; trial++ {
+			in, err := bitvec.RandomPairwiseDisjoint(f.InputBits(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, err := f.Build(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := exactOpt(t, inst)
+			if opt > p.QuadraticSmallMax() {
+				t.Fatalf("%v trial %d: OPT %d > bound %d", p, trial, opt, p.QuadraticSmallMax())
+			}
+		}
+	}
+}
+
+func TestQuadraticLocality(t *testing.T) {
+	// Definition 4 condition 1 for the quadratic family: player i's string
+	// controls only the edges inside V^i (between A^(i,1) and A^(i,2)).
+	p := FigureParams(2)
+	f := mustQuadratic(t, p)
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < p.T; i++ {
+		a := make(bitvec.Inputs, p.T)
+		b := make(bitvec.Inputs, p.T)
+		for j := range a {
+			v := bitvec.New(f.InputBits())
+			for x := 0; x < f.InputBits(); x++ {
+				if rng.Intn(2) == 1 {
+					v.Set(x)
+				}
+			}
+			a[j] = v
+			b[j] = v.Clone()
+		}
+		b[i] = bitvec.New(f.InputBits())
+		if err := core.AuditLocality(f, a, b, i); err != nil {
+			t.Fatalf("player %d: %v", i, err)
+		}
+	}
+}
+
+func TestQuadraticGapDecide(t *testing.T) {
+	p := Params{T: 4, Alpha: 1, Ell: 200} // huge ℓ: gap genuinely valid
+	if !p.QuadraticGapValid() {
+		t.Fatalf("expected valid quadratic gap for %v", p)
+	}
+	gap := core.GapPredicate{Beta: p.QuadraticBeta(), SmallMax: p.QuadraticSmallMax()}
+	if v, err := gap.Decide(p.QuadraticBeta()); err != nil || v {
+		t.Fatalf("Beta should decide FALSE (intersecting): %v %v", v, err)
+	}
+	if v, err := gap.Decide(p.QuadraticSmallMax()); err != nil || !v {
+		t.Fatalf("SmallMax should decide TRUE (disjoint): %v %v", v, err)
+	}
+	if _, err := gap.Decide(p.QuadraticSmallMax() + 1); err == nil {
+		t.Fatal("gap interior accepted")
+	}
+}
+
+func BenchmarkBuildQuadraticT2(b *testing.B) {
+	p := FigureParams(2)
+	f, err := NewQuadratic(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	in, _, err := bitvec.RandomUniquelyIntersecting(f.InputBits(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Build(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package lbgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/core"
+	"congestlb/internal/mis"
+)
+
+func TestUnweightedLinearGapBothCases(t *testing.T) {
+	p := Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := NewUnweightedLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Players() != p.T || fam.InputBits() != p.K() {
+		t.Fatalf("family shape wrong: %d players, %d bits", fam.Players(), fam.InputBits())
+	}
+	rng := rand.New(rand.NewSource(5))
+	solver := func(inst core.Instance) (int64, error) {
+		sol, err := mis.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+		if err != nil {
+			return 0, err
+		}
+		return sol.Weight, nil
+	}
+	for trial := 0; trial < 6; trial++ {
+		in, _, err := bitvec.RandomPromiseInstance(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.AuditGap(fam, in, solver); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestUnweightedLinearInstancesAreUnweighted(t *testing.T) {
+	p := Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := NewUnweightedLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	in, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := fam.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < inst.Graph.N(); u++ {
+		if inst.Graph.Weight(u) != 1 {
+			t.Fatalf("node %d has weight %d", u, inst.Graph.Weight(u))
+		}
+	}
+	// Size grows with the number of 1 bits (each worth ℓ-1 extra nodes).
+	ones := 0
+	for _, v := range in {
+		ones += v.Count()
+	}
+	want := p.LinearN() + ones*(p.Ell-1)
+	if inst.Graph.N() != want {
+		t.Fatalf("blow-up has %d nodes, want %d", inst.Graph.N(), want)
+	}
+}
+
+func TestUnweightedLinearWitness(t *testing.T) {
+	p := Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := NewUnweightedLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	in, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := fam.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	witness, err := fam.WitnessLarge(in, inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight, err := mis.Verify(inst.Graph, witness)
+	if err != nil {
+		t.Fatalf("witness invalid: %v", err)
+	}
+	if weight < fam.Gap().Beta {
+		t.Fatalf("witness size %d below Beta %d", weight, fam.Gap().Beta)
+	}
+}
+
+func TestUnweightedLinearMatchesWeightedOptimum(t *testing.T) {
+	p := FigureParams(2)
+	weightedFam, err := NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unweightedFam, err := NewUnweightedLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		in, _, err := bitvec.RandomPromiseInstance(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, 0.5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wInst, err := weightedFam.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uInst, err := unweightedFam.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wOpt, err := mis.Exact(wInst.Graph, mis.Options{CliqueCover: wInst.CliqueCover})
+		if err != nil {
+			t.Fatal(err)
+		}
+		uOpt, err := mis.Exact(uInst.Graph, mis.Options{CliqueCover: uInst.CliqueCover})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wOpt.Weight != uOpt.Weight {
+			t.Fatalf("trial %d: weighted OPT %d, unweighted OPT %d", trial, wOpt.Weight, uOpt.Weight)
+		}
+	}
+}
+
+func TestUnweightedLinearName(t *testing.T) {
+	fam, err := NewUnweightedLinear(FigureParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Name() == "" || fam.Name()[:10] != "unweighted" {
+		t.Fatalf("name %q", fam.Name())
+	}
+}

@@ -1,0 +1,279 @@
+package mis
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"congestlb/internal/graphs"
+)
+
+// ErrBudgetExceeded is returned when branch-and-bound exhausts its step
+// budget before proving optimality.
+var ErrBudgetExceeded = errors.New("mis: search budget exceeded")
+
+// Options configures the Exact solver. The zero value is valid: a greedy
+// clique cover is computed and a default step budget applies.
+type Options struct {
+	// CliqueCover optionally supplies a partition of the nodes into
+	// cliques. The lower-bound constructions know their natural cover
+	// (the cliques A^i and C^i_h), which yields much tighter upper bounds
+	// than the greedy cover. Each node must appear in exactly one clique,
+	// and each part must be a clique in the graph.
+	CliqueCover [][]graphs.NodeID
+	// MaxSteps bounds the number of branch-and-bound nodes explored;
+	// 0 means the default (50 million).
+	MaxSteps int64
+}
+
+const defaultMaxSteps = 50_000_000
+
+// Exact computes a maximum-weight independent set by branch-and-bound with
+// a clique-cover upper bound: any independent set contains at most one node
+// per clique, so Σ_cliques max_{v ∈ P ∩ C} w(v) bounds what remains of the
+// candidate set P.
+func Exact(g *graphs.Graph, opts Options) (Solution, error) {
+	n := g.N()
+	if n == 0 {
+		return Solution{Optimal: true}, nil
+	}
+	cover, err := resolveCover(g, opts.CliqueCover)
+	if err != nil {
+		return Solution{}, err
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+
+	words := (n + 63) / 64
+	s := &exactSolver{
+		n:           n,
+		words:       words,
+		weights:     make([]int64, n),
+		closed:      make([][]uint64, n),
+		cover:       cover.id,
+		nCliques:    cover.count,
+		maxSteps:    maxSteps,
+		cliqueMax:   make([]int64, cover.count),
+		cliqueStamp: make([]int64, cover.count),
+	}
+	for v := 0; v < n; v++ {
+		s.weights[v] = g.Weight(v)
+		row := make([]uint64, words)
+		copy(row, g.NeighborRow(v))
+		row[v/64] |= 1 << (uint(v) % 64)
+		s.closed[v] = row
+	}
+	// Seed the incumbent with a greedy solution so pruning bites early.
+	seed := Greedy(g, GreedyByRatio)
+	s.best = seed.Weight
+	s.bestSet = make([]uint64, words)
+	for _, v := range seed.Set {
+		s.bestSet[v/64] |= 1 << (uint(v) % 64)
+	}
+
+	// Buffers per recursion depth avoid per-call allocation.
+	s.bufP = make([][]uint64, n+1)
+	for d := range s.bufP {
+		s.bufP[d] = make([]uint64, words)
+	}
+	s.curSet = make([]uint64, words)
+
+	root := make([]uint64, words)
+	for v := 0; v < n; v++ {
+		root[v/64] |= 1 << (uint(v) % 64)
+	}
+	if err := s.search(root, 0, 0); err != nil {
+		return Solution{}, err
+	}
+
+	set := make([]graphs.NodeID, 0)
+	for v := 0; v < n; v++ {
+		if s.bestSet[v/64]&(1<<(uint(v)%64)) != 0 {
+			set = append(set, v)
+		}
+	}
+	sort.Ints(set)
+	return Solution{Set: set, Weight: s.best, Optimal: true, Steps: s.steps}, nil
+}
+
+type exactSolver struct {
+	n, words int
+	weights  []int64
+	closed   [][]uint64 // closed[v] = {v} ∪ N(v) as a bitset
+	cover    []int      // clique id per node
+	nCliques int
+
+	best    int64
+	bestSet []uint64
+	curSet  []uint64
+
+	steps    int64
+	maxSteps int64
+
+	bufP [][]uint64
+
+	// Stamped scratch for the clique bound, avoiding clears per call.
+	cliqueMax   []int64
+	cliqueStamp []int64
+	stamp       int64
+}
+
+// bound returns the clique-cover upper bound on the weight obtainable from
+// the candidate set P.
+func (s *exactSolver) bound(p []uint64) int64 {
+	s.stamp++
+	var total int64
+	for wi, w := range p {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			v := wi*64 + b
+			w &= w - 1
+			c := s.cover[v]
+			if s.cliqueStamp[c] != s.stamp {
+				s.cliqueStamp[c] = s.stamp
+				s.cliqueMax[c] = s.weights[v]
+				total += s.weights[v]
+			} else if s.weights[v] > s.cliqueMax[c] {
+				total += s.weights[v] - s.cliqueMax[c]
+				s.cliqueMax[c] = s.weights[v]
+			}
+		}
+	}
+	return total
+}
+
+// pickBranchNode returns the maximum-weight node in P (first by weight,
+// then by lowest index), or -1 if P is empty.
+func (s *exactSolver) pickBranchNode(p []uint64) int {
+	bestV := -1
+	var bestW int64
+	for wi, w := range p {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			v := wi*64 + b
+			w &= w - 1
+			if bestV == -1 || s.weights[v] > bestW {
+				bestV, bestW = v, s.weights[v]
+			}
+		}
+	}
+	return bestV
+}
+
+func (s *exactSolver) search(p []uint64, cur int64, depth int) error {
+	s.steps++
+	if s.steps > s.maxSteps {
+		return fmt.Errorf("%w after %d steps", ErrBudgetExceeded, s.steps)
+	}
+	if cur > s.best {
+		s.best = cur
+		copy(s.bestSet, s.curSet)
+	}
+	v := s.pickBranchNode(p)
+	if v == -1 {
+		return nil
+	}
+	if cur+s.bound(p) <= s.best {
+		return nil
+	}
+	// Branch 1: include v.
+	child := s.bufP[depth]
+	for i := range child {
+		child[i] = p[i] &^ s.closed[v][i]
+	}
+	s.curSet[v/64] |= 1 << (uint(v) % 64)
+	if err := s.search(child, cur+s.weights[v], depth+1); err != nil {
+		return err
+	}
+	s.curSet[v/64] &^= 1 << (uint(v) % 64)
+	// Branch 2: exclude v. Mutating p in place is safe: the parent frame
+	// never re-reads its candidate set after this call.
+	p[v/64] &^= 1 << (uint(v) % 64)
+	return s.search(p, cur, depth)
+}
+
+type coverInfo struct {
+	id    []int // clique id per node
+	count int
+}
+
+// resolveCover validates a provided clique cover or computes a greedy one.
+func resolveCover(g *graphs.Graph, provided [][]graphs.NodeID) (coverInfo, error) {
+	n := g.N()
+	if provided != nil {
+		id := make([]int, n)
+		for i := range id {
+			id[i] = -1
+		}
+		for c, clique := range provided {
+			if !g.IsClique(clique) {
+				return coverInfo{}, fmt.Errorf("mis: cover part %d is not a clique", c)
+			}
+			for _, v := range clique {
+				if v < 0 || v >= n {
+					return coverInfo{}, fmt.Errorf("mis: cover node %d out of range", v)
+				}
+				if id[v] != -1 {
+					return coverInfo{}, fmt.Errorf("mis: node %d appears in cover parts %d and %d", v, id[v], c)
+				}
+				id[v] = c
+			}
+		}
+		for v, c := range id {
+			if c == -1 {
+				return coverInfo{}, fmt.Errorf("mis: node %d (%s) missing from cover", v, g.Label(v))
+			}
+		}
+		return coverInfo{id: id, count: len(provided)}, nil
+	}
+	return greedyCover(g), nil
+}
+
+// greedyCover partitions nodes into cliques greedily: nodes in descending
+// degree order join the first existing clique they are fully adjacent to.
+func greedyCover(g *graphs.Graph) coverInfo {
+	n := g.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	words := (n + 63) / 64
+	id := make([]int, n)
+	var members [][]uint64 // bitset of members per clique
+	for _, v := range order {
+		row := g.NeighborRow(v)
+		placed := false
+		for c, mem := range members {
+			fits := true
+			for i := 0; i < words; i++ {
+				if mem[i]&^row[i] != 0 {
+					fits = false
+					break
+				}
+			}
+			if fits {
+				mem[v/64] |= 1 << (uint(v) % 64)
+				id[v] = c
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			mem := make([]uint64, words)
+			mem[v/64] |= 1 << (uint(v) % 64)
+			members = append(members, mem)
+			id[v] = len(members) - 1
+		}
+	}
+	return coverInfo{id: id, count: len(members)}
+}
