@@ -1,0 +1,114 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// baseline, so CI can archive per-experiment performance numbers and humans
+// can diff them across commits:
+//
+//	go test -bench=. -benchtime=3x -run=NONE . | benchjson -o BENCH_0001.json
+//
+// Only benchmark result lines are consumed; everything else (goos/goarch
+// headers, PASS/ok trailers) is ignored. Benchmarks are emitted sorted by
+// name, one object per benchmark with ns/op, B/op and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// parseLine parses one `go test -bench` result line, reporting ok=false
+// for non-benchmark lines.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	// The remainder is unit pairs: value unit value unit ...
+	for i := 2; i+1 < len(fields); i += 2 {
+		value, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			v, err := strconv.ParseFloat(value, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.NsPerOp = v
+		case "B/op":
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.BytesPerOp = v
+		case "allocs/op":
+			v, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return Result{}, false
+			}
+			r.AllocsPerOp = v
+		}
+	}
+	if r.NsPerOp == 0 {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// convert reads bench output from r and writes the JSON baseline to w.
+func convert(r io.Reader, w io.Writer) error {
+	var results []Result
+	scanner := bufio.NewScanner(r)
+	for scanner.Scan() {
+		if res, ok := parseLine(scanner.Text()); ok {
+			results = append(results, res)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines found in input")
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := convert(os.Stdin, w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: congestlb
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExpFigure1     	       3	     35387 ns/op	    9384 B/op	     198 allocs/op
+BenchmarkExpScaling     	       3	 630305076 ns/op	357125218 B/op	 1910071 allocs/op
+PASS
+ok  	congestlb	4.168s
+`
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkExpFigure1     \t       3\t     35387 ns/op\t    9384 B/op\t     198 allocs/op")
+	if !ok {
+		t.Fatal("benchmark line rejected")
+	}
+	if r.Name != "BenchmarkExpFigure1" || r.Iterations != 3 || r.NsPerOp != 35387 ||
+		r.BytesPerOp != 9384 || r.AllocsPerOp != 198 {
+		t.Fatalf("parsed wrong: %+v", r)
+	}
+	for _, junk := range []string{"", "PASS", "goos: linux", "ok  \tcongestlb\t4.1s", "Benchmark only"} {
+		if _, ok := parseLine(junk); ok {
+			t.Fatalf("non-benchmark line accepted: %q", junk)
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	var buf bytes.Buffer
+	if err := convert(strings.NewReader(sample), &buf); err != nil {
+		t.Fatal(err)
+	}
+	var results []Result
+	if err := json.Unmarshal(buf.Bytes(), &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	// Sorted by name.
+	if results[0].Name != "BenchmarkExpFigure1" || results[1].Name != "BenchmarkExpScaling" {
+		t.Fatalf("wrong order: %+v", results)
+	}
+	if results[1].AllocsPerOp != 1910071 {
+		t.Fatalf("scaling allocs wrong: %+v", results[1])
+	}
+}
+
+func TestConvertEmptyInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := convert(strings.NewReader("PASS\n"), &buf); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

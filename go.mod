@@ -1,0 +1,3 @@
+module congestlb
+
+go 1.21

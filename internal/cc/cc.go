@@ -14,17 +14,44 @@ package cc
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"congestlb/internal/bitvec"
 )
+
+// Tag identifies a CONGEST message charged to the blackboard by the
+// Theorem 5 simulation: the round it was sent in and the edge it crossed.
+// Tagged entries carry no label string on the hot path; Entries()
+// synthesises one ("r<round>:<from>-><to>") on demand.
+type Tag struct {
+	Round    int
+	From, To int
+}
+
+// Label renders the tag in the transcript label format.
+func (t Tag) Label() string {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, 'r')
+	buf = strconv.AppendInt(buf, int64(t.Round), 10)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(t.From), 10)
+	buf = append(buf, '-', '>')
+	buf = strconv.AppendInt(buf, int64(t.To), 10)
+	return string(buf)
+}
 
 // Entry is one write to the shared blackboard.
 type Entry struct {
 	// Player is the writing player in [0, t).
 	Player int
 	// Label annotates the write for transcript inspection; it carries no
-	// cost.
+	// cost. For entries written by WriteTagged it is synthesised from
+	// Tag when the transcript is read back via Entries.
 	Label string
+	// Tag carries the structured annotation of WriteTagged entries.
+	Tag Tag
+	// Tagged reports whether this entry was written by WriteTagged.
+	Tagged bool
 	// Data is the payload. Only Bits of it are charged, supporting
 	// sub-byte messages (e.g. a single decision bit).
 	Data []byte
@@ -32,30 +59,104 @@ type Entry struct {
 	Bits int64
 }
 
+// rec is the compact internal form of a transcript entry: pointer-free
+// (nothing for the garbage collector to scan in a transcript of hundreds
+// of thousands of writes) and payload-addressed by offset into the shared
+// payload buffer, so appending never copies more than the new bytes.
+// labelIdx is 1+index into the labels table for explicitly-labelled
+// writes, 0 for tagged writes (whose label is synthesised from the tag).
+type rec struct {
+	player          int32
+	round, from, to int32
+	off, length     int32
+	labelIdx        int32
+	bits            int64
+}
+
 // Blackboard is the append-only shared transcript. The zero value is an
 // empty blackboard ready for use.
+//
+// Writes are allocation-free in steady state: payloads are appended to an
+// internal buffer addressed by offset, entries are compact pointer-free
+// records, and the per-message annotation of the Theorem 5 simulation is a
+// numeric Tag whose label string materialises only when the transcript is
+// inspected via Entries.
 type Blackboard struct {
-	entries []Entry
+	recs    []rec
+	labels  []string
+	payload []byte
 	bits    int64
+}
+
+func (b *Blackboard) append(player, labelIdx int32, tag Tag, data []byte, bits int64) {
+	off := int32(len(b.payload))
+	b.payload = append(b.payload, data...)
+	b.recs = append(b.recs, rec{
+		player:   player,
+		round:    int32(tag.Round),
+		from:     int32(tag.From),
+		to:       int32(tag.To),
+		off:      off,
+		length:   int32(len(data)),
+		labelIdx: labelIdx,
+		bits:     bits,
+	})
+	b.bits += bits
 }
 
 // Write appends an entry of the given bit size. bits must be positive and
 // no larger than 8*len(data) (data must actually carry the bits charged).
+// The data is copied; callers may reuse their buffer.
 func (b *Blackboard) Write(player int, label string, data []byte, bits int64) error {
+	if err := b.check(data, bits); err != nil {
+		return err
+	}
+	b.labels = append(b.labels, label)
+	b.append(int32(player), int32(len(b.labels)), Tag{}, data, bits)
+	return nil
+}
+
+// WriteTagged appends an entry annotated with a numeric tag instead of a
+// label string — the zero-allocation path the CONGEST simulation charges
+// every cut-crossing message through. The data is copied; callers may
+// reuse their buffer.
+func (b *Blackboard) WriteTagged(player int, tag Tag, data []byte, bits int64) error {
+	if err := b.check(data, bits); err != nil {
+		return err
+	}
+	b.append(int32(player), 0, tag, data, bits)
+	return nil
+}
+
+func (b *Blackboard) check(data []byte, bits int64) error {
 	if bits <= 0 {
 		return fmt.Errorf("cc: write of %d bits", bits)
 	}
 	if bits > int64(len(data))*8 {
 		return fmt.Errorf("cc: %d bits charged but payload only holds %d", bits, len(data)*8)
 	}
-	b.entries = append(b.entries, Entry{
-		Player: player,
-		Label:  label,
-		Data:   append([]byte(nil), data...),
-		Bits:   bits,
-	})
-	b.bits += bits
 	return nil
+}
+
+// entryAt expands the compact record i into the public Entry form. The
+// returned Data aliases the payload buffer current at call time; contents
+// stay valid because the buffer is append-only until Reset, which drops
+// (rather than reuses) it.
+func (b *Blackboard) entryAt(i int) Entry {
+	r := b.recs[i]
+	e := Entry{
+		Player: int(r.player),
+		Data:   b.payload[r.off : r.off+r.length : r.off+r.length],
+		Bits:   r.bits,
+	}
+	if r.labelIdx == 0 {
+		e.Tagged = true
+		e.Tag = Tag{Round: int(r.round), From: int(r.from), To: int(r.to)}
+		e.Label = e.Tag.Label()
+	} else {
+		e.Label = b.labels[r.labelIdx-1]
+	}
+	return e
 }
 
 // WriteBit appends a single-bit entry.
@@ -81,33 +182,43 @@ func (b *Blackboard) WriteVector(player int, label string, v *bitvec.Vector) err
 // Definition 1 for the run in progress.
 func (b *Blackboard) Bits() int64 { return b.bits }
 
-// Entries returns a copy of the transcript.
+// Entries returns the transcript in the public Entry form, with labels
+// synthesised for tagged entries.
 func (b *Blackboard) Entries() []Entry {
-	return append([]Entry(nil), b.entries...)
+	out := make([]Entry, len(b.recs))
+	for i := range out {
+		out[i] = b.entryAt(i)
+	}
+	return out
 }
 
 // Len returns the number of entries written.
-func (b *Blackboard) Len() int { return len(b.entries) }
+func (b *Blackboard) Len() int { return len(b.recs) }
 
 // Reset clears the blackboard for reuse.
 func (b *Blackboard) Reset() {
-	b.entries = b.entries[:0]
+	b.recs = b.recs[:0]
+	b.labels = b.labels[:0]
 	b.bits = 0
+	// Drop (don't truncate) the payload buffer: transcript views handed
+	// out by Entries alias it and must survive the reuse.
+	b.payload = nil
 }
 
 // ReadVector decodes entry index idx back into a bit vector of length k.
 // Protocol implementations use it to model players reading the blackboard.
 func (b *Blackboard) ReadVector(idx, k int) (*bitvec.Vector, error) {
-	if idx < 0 || idx >= len(b.entries) {
-		return nil, fmt.Errorf("cc: entry %d out of range [0,%d)", idx, len(b.entries))
+	if idx < 0 || idx >= len(b.recs) {
+		return nil, fmt.Errorf("cc: entry %d out of range [0,%d)", idx, len(b.recs))
 	}
-	e := b.entries[idx]
-	if e.Bits != int64(k) {
-		return nil, fmt.Errorf("cc: entry %d holds %d bits, want %d", idx, e.Bits, k)
+	r := b.recs[idx]
+	if r.bits != int64(k) {
+		return nil, fmt.Errorf("cc: entry %d holds %d bits, want %d", idx, r.bits, k)
 	}
+	data := b.payload[r.off : r.off+r.length]
 	v := bitvec.New(k)
 	for i := 0; i < k; i++ {
-		if e.Data[i/8]&(1<<(uint(i)%8)) != 0 {
+		if data[i/8]&(1<<(uint(i)%8)) != 0 {
 			v.Set(i)
 		}
 	}

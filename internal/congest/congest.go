@@ -10,9 +10,16 @@
 // Efron, Grossman and Khoury (PODC 2020).
 //
 // Node behaviour is written as a NodeProgram state machine. The engine can
-// run programs sequentially (fully deterministic) or with one goroutine per
-// node per round (deterministic too: message delivery is ordered by node
-// ID, and per-node randomness comes from per-node seeded generators).
+// run programs sequentially (fully deterministic) or on a persistent worker
+// pool processing contiguous node ranges (deterministic too: message
+// delivery is ordered by node ID, and per-node randomness comes from
+// per-node seeded generators).
+//
+// The round loop is (near-)zero-allocation: delivered payloads live in a
+// per-round byte arena reused across rounds, inbox/outbox backing arrays
+// are recycled, duplicate-send detection uses a stamped array instead of
+// per-round maps, and adjacency checks hit the graph's bitset rows
+// directly. See docs/performance.md for the architecture and measurements.
 package congest
 
 import (
@@ -20,7 +27,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"runtime"
 	"sync"
 
 	"congestlb/internal/graphs"
@@ -32,7 +39,10 @@ type Message struct {
 	// From in the network graph.
 	From, To graphs.NodeID
 	// Data is the payload; its bit size is 8*len(Data) and must not
-	// exceed the per-edge bandwidth.
+	// exceed the per-edge bandwidth. Delivered payloads are only valid
+	// for the duration of the Round (or hook) call that receives them:
+	// the engine recycles the backing storage, so programs that keep a
+	// payload across rounds must copy it.
 	Data []byte
 }
 
@@ -54,14 +64,18 @@ type NodeInfo struct {
 }
 
 // NodeProgram is the per-node state machine. Implementations must not
-// retain or mutate the inbox slice across calls.
+// retain or mutate the inbox slice — or any message payload in it — across
+// calls: the engine reuses both between rounds.
 type NodeProgram interface {
 	// Init is called once before the first round.
 	Init(info NodeInfo)
 	// Round consumes the messages delivered this round (sent by
 	// neighbours in the previous round; empty in round 1) and returns the
 	// messages to send. Returning a message to a non-neighbour or two
-	// messages to the same neighbour is an error.
+	// messages to the same neighbour is an error. Returned payloads only
+	// need to stay valid until the program's next Round call: the engine
+	// copies them into its delivery arena, so programs may (and should)
+	// encode payloads into per-program scratch buffers.
 	Round(round int, inbox []Message) []Message
 	// Done reports whether the node has terminated. A terminated node
 	// stops sending; the run ends when every node is done.
@@ -70,8 +84,23 @@ type NodeProgram interface {
 	Output() any
 }
 
+// BufferedProgram is an optional NodeProgram extension for allocation-free
+// sending: the engine calls AppendRound with a reusable outbox slice (length
+// zero, capacity recycled across rounds) instead of Round, so steady-state
+// rounds need no outbox allocation at all. Round and AppendRound must be
+// behaviourally identical; Round is still used by engines unaware of the
+// extension.
+type BufferedProgram interface {
+	NodeProgram
+	// AppendRound is Round, but appends the outgoing messages to out
+	// (always non-nil with length 0) and returns it.
+	AppendRound(round int, inbox []Message, out []Message) []Message
+}
+
 // MessageHook observes every delivered message. The reduction framework
-// uses it to charge cut-edge messages to a blackboard.
+// uses it to charge cut-edge messages to a blackboard. The message payload
+// is only valid for the duration of the call; hooks that retain it must
+// copy.
 type MessageHook func(round int, msg Message) error
 
 // Config parameterises a simulation run.
@@ -124,13 +153,55 @@ var ErrBandwidthExceeded = errors.New("congest: message exceeds bandwidth")
 // ErrMaxRounds reports a run that did not terminate in time.
 var ErrMaxRounds = errors.New("congest: exceeded maximum rounds")
 
+// byteArena is a bump allocator for message payloads: copy carves a stable
+// copy of p out of a backing block reused across rounds. Old blocks
+// orphaned by growth stay valid for the slices already issued (the garbage
+// collector reclaims them once those die), so growth never invalidates a
+// delivered payload; in steady state, once the block covers the peak round
+// volume, copy allocates nothing.
+type byteArena struct {
+	buf []byte
+	off int
+}
+
+func (a *byteArena) copy(p []byte) []byte {
+	if a.off+len(p) > len(a.buf) {
+		size := 2 * (a.off + len(p))
+		if size < 4096 {
+			size = 4096
+		}
+		a.buf = make([]byte, size)
+		a.off = 0
+	}
+	dst := a.buf[a.off : a.off+len(p) : a.off+len(p)]
+	copy(dst, p)
+	a.off += len(p)
+	return dst
+}
+
+// reset recycles the arena for the next round. Slices issued before the
+// reset must no longer be read.
+func (a *byteArena) reset() { a.off = 0 }
+
 // Network binds a graph to one NodeProgram per node.
 type Network struct {
 	g        *graphs.Graph
 	programs []NodeProgram
+	// buffered[u] is programs[u] if it implements BufferedProgram, else
+	// nil; resolved once so the round loop avoids per-call type asserts.
+	buffered []BufferedProgram
 	cfg      Config
 	bw       int64
-	neighbor []map[graphs.NodeID]bool // adjacency lookup per node
+
+	// Reusable per-run state (see Run).
+	inboxes  [][]Message
+	outboxes [][]Message
+	arena    byteArena
+	// seen/seenStamp implement duplicate-destination detection without a
+	// per-node-per-round map: seen[v] == seenStamp means v already
+	// received a message from the outbox currently being validated.
+	seen      []int64
+	seenStamp int64
 }
 
 // NewNetwork validates the wiring and prepares a run. programs[u] drives
@@ -154,13 +225,13 @@ func NewNetwork(g *graphs.Graph, programs []NodeProgram, cfg Config) (*Network, 
 	if bw < 1 {
 		return nil, fmt.Errorf("congest: bandwidth %d bits must be >= 1", bw)
 	}
-	neighbor := make([]map[graphs.NodeID]bool, g.N())
-	for u := 0; u < g.N(); u++ {
-		set := make(map[graphs.NodeID]bool, g.Degree(u))
-		g.ForEachNeighbor(u, func(v graphs.NodeID) { set[v] = true })
-		neighbor[u] = set
+	buffered := make([]BufferedProgram, len(programs))
+	for u, p := range programs {
+		if bp, ok := p.(BufferedProgram); ok {
+			buffered[u] = bp
+		}
 	}
-	return &Network{g: g, programs: programs, cfg: cfg, bw: bw, neighbor: neighbor}, nil
+	return &Network{g: g, programs: programs, buffered: buffered, cfg: cfg, bw: bw}, nil
 }
 
 // Bandwidth returns the effective per-edge bit budget B.
@@ -187,8 +258,18 @@ func (n *Network) Run() (Result, error) {
 	}
 
 	var stats Stats
-	inboxes := make([][]Message, size)
-	outboxes := make([][]Message, size)
+	n.inboxes = make([][]Message, size)
+	n.outboxes = make([][]Message, size)
+	n.seen = make([]int64, size)
+	n.seenStamp = 0
+	n.arena.reset()
+
+	var pool *workerPool
+	if n.cfg.Parallel {
+		pool = newWorkerPool(n, size)
+		defer pool.stop()
+	}
+
 	for round := 1; ; round++ {
 		if round > maxRounds {
 			return Result{}, fmt.Errorf("%w: %d", ErrMaxRounds, maxRounds)
@@ -205,29 +286,34 @@ func (n *Network) Run() (Result, error) {
 			return n.collect(stats), nil
 		}
 
-		if n.cfg.Parallel {
-			n.stepParallel(round, inboxes, outboxes)
+		if pool != nil {
+			pool.step(round)
 		} else {
-			n.stepSequential(round, inboxes, outboxes)
+			n.stepRange(round, 0, size)
 		}
 
-		// Validate, account, and deliver.
+		// All Round calls of this round have returned, so the payloads
+		// delivered last round are dead: recycle their arena, then
+		// validate, account, and deliver this round's sends out of it.
+		// Iterating senders in ID order leaves every inbox sorted by
+		// sender — the deterministic delivery order — with no sort pass.
+		n.arena.reset()
 		for u := 0; u < size; u++ {
-			inboxes[u] = inboxes[u][:0]
+			n.inboxes[u] = n.inboxes[u][:0]
 		}
 		for u := 0; u < size; u++ {
-			seen := make(map[graphs.NodeID]bool, len(outboxes[u]))
-			for _, msg := range outboxes[u] {
+			n.seenStamp++
+			for _, msg := range n.outboxes[u] {
 				if msg.From != u {
 					return Result{}, fmt.Errorf("congest: node %d forged sender %d in round %d", u, msg.From, round)
 				}
-				if !n.neighbor[u][msg.To] {
+				if !n.g.HasEdge(u, msg.To) {
 					return Result{}, fmt.Errorf("congest: node %d sent to non-neighbour %d in round %d", u, msg.To, round)
 				}
-				if seen[msg.To] {
+				if n.seen[msg.To] == n.seenStamp {
 					return Result{}, fmt.Errorf("congest: node %d sent two messages to %d in round %d", u, msg.To, round)
 				}
-				seen[msg.To] = true
+				n.seen[msg.To] = n.seenStamp
 				if msg.Bits() > n.bw {
 					return Result{}, fmt.Errorf("%w: %d bits > B=%d (node %d→%d, round %d)",
 						ErrBandwidthExceeded, msg.Bits(), n.bw, msg.From, msg.To, round)
@@ -237,51 +323,87 @@ func (n *Network) Run() (Result, error) {
 				if msg.Bits() > stats.MaxMessageBits {
 					stats.MaxMessageBits = msg.Bits()
 				}
+				delivered := Message{From: msg.From, To: msg.To, Data: n.arena.copy(msg.Data)}
 				if n.cfg.Hook != nil {
-					if err := n.cfg.Hook(round, msg); err != nil {
+					if err := n.cfg.Hook(round, delivered); err != nil {
 						return Result{}, fmt.Errorf("congest: hook: %w", err)
 					}
 				}
-				inboxes[msg.To] = append(inboxes[msg.To], msg)
+				n.inboxes[msg.To] = append(n.inboxes[msg.To], delivered)
 			}
 		}
-		// Deterministic delivery order regardless of engine: sort each
-		// inbox by sender.
-		for u := 0; u < size; u++ {
-			inbox := inboxes[u]
-			sort.Slice(inbox, func(a, b int) bool { return inbox[a].From < inbox[b].From })
+	}
+}
+
+// stepRange invokes Round (or AppendRound) for nodes [lo, hi) in ID order.
+// Distinct ranges touch disjoint engine and program state, so the worker
+// pool can run them concurrently.
+func (n *Network) stepRange(round, lo, hi int) {
+	for u := lo; u < hi; u++ {
+		if n.programs[u].Done() {
+			n.outboxes[u] = n.outboxes[u][:0]
+			continue
+		}
+		if bp := n.buffered[u]; bp != nil {
+			n.outboxes[u] = bp.AppendRound(round, n.inboxes[u], n.outboxes[u][:0])
+		} else {
+			n.outboxes[u] = n.programs[u].Round(round, n.inboxes[u])
 		}
 	}
 }
 
-// stepSequential invokes each node's Round in ID order.
-func (n *Network) stepSequential(round int, inboxes, outboxes [][]Message) {
-	for u := 0; u < n.g.N(); u++ {
-		if n.programs[u].Done() {
-			outboxes[u] = nil
-			continue
-		}
-		outboxes[u] = n.programs[u].Round(round, inboxes[u])
-	}
+// workerPool runs stepRange over fixed contiguous node ranges on a set of
+// goroutines that persist for a whole Run, replacing the old
+// goroutine-per-node-per-round engine. Results are bit-identical to the
+// sequential engine: workers only fill outbox slots, and delivery is done
+// by the single-threaded round loop in sender-ID order.
+type workerPool struct {
+	round []chan int // one buffered channel per worker; closing stops it
+	wg    sync.WaitGroup
 }
 
-// stepParallel invokes every node's Round concurrently. Each goroutine
-// touches only its own node's state and outbox slot, and the caller waits
-// for all of them, so there are no leaks and no races.
-func (n *Network) stepParallel(round int, inboxes, outboxes [][]Message) {
-	var wg sync.WaitGroup
-	for u := 0; u < n.g.N(); u++ {
-		if n.programs[u].Done() {
-			outboxes[u] = nil
-			continue
-		}
-		wg.Add(1)
-		go func(u int) {
-			defer wg.Done()
-			outboxes[u] = n.programs[u].Round(round, inboxes[u])
-		}(u)
+func newWorkerPool(n *Network, size int) *workerPool {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > size {
+		workers = size
 	}
-	wg.Wait()
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool{round: make([]chan int, workers)}
+	chunk := (size + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > size {
+			hi = size
+		}
+		ch := make(chan int, 1)
+		p.round[w] = ch
+		go func(lo, hi int, ch chan int) {
+			for round := range ch {
+				n.stepRange(round, lo, hi)
+				p.wg.Done()
+			}
+		}(lo, hi, ch)
+	}
+	return p
+}
+
+// step runs one round across all workers and waits for completion.
+func (p *workerPool) step(round int) {
+	p.wg.Add(len(p.round))
+	for _, ch := range p.round {
+		ch <- round
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the worker goroutines.
+func (p *workerPool) stop() {
+	for _, ch := range p.round {
+		close(ch)
+	}
 }
 
 func (n *Network) collect(stats Stats) Result {

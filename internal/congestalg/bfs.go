@@ -28,14 +28,15 @@ type BFSResult struct {
 //
 // Output: BFSResult.
 type LeaderBFS struct {
-	info   congest.NodeInfo
-	leader int
-	dist   int
-	parent int
-	done   bool
+	info    congest.NodeInfo
+	leader  int
+	dist    int
+	parent  int
+	done    bool
+	sendBuf []byte
 }
 
-var _ congest.NodeProgram = (*LeaderBFS)(nil)
+var _ congest.BufferedProgram = (*LeaderBFS)(nil)
 
 // NewLeaderBFSPrograms returns one LeaderBFS program per node.
 func NewLeaderBFSPrograms(n int) []congest.NodeProgram {
@@ -52,10 +53,17 @@ func (b *LeaderBFS) Init(info congest.NodeInfo) {
 	b.leader = info.ID
 	b.dist = 0
 	b.parent = -1
+	b.done = false
+	b.sendBuf = make([]byte, 0, bfsLen)
 }
 
 // Round implements congest.NodeProgram.
 func (b *LeaderBFS) Round(round int, inbox []congest.Message) []congest.Message {
+	return b.AppendRound(round, inbox, nil)
+}
+
+// AppendRound implements congest.BufferedProgram.
+func (b *LeaderBFS) AppendRound(round int, inbox []congest.Message, out []congest.Message) []congest.Message {
 	for _, m := range inbox {
 		leader, dist, err := decodeBFS(m.Data)
 		if err != nil {
@@ -69,12 +77,11 @@ func (b *LeaderBFS) Round(round int, inbox []congest.Message) []congest.Message 
 	}
 	if round > b.info.N {
 		b.done = true
-		return nil
+		return out
 	}
-	payload := encodeBFS(b.leader, b.dist)
-	out := make([]congest.Message, 0, len(b.info.Neighbors))
+	b.sendBuf = appendBFS(b.sendBuf[:0], b.leader, b.dist)
 	for _, v := range b.info.Neighbors {
-		out = append(out, congest.Message{From: b.info.ID, To: v, Data: payload})
+		out = append(out, congest.Message{From: b.info.ID, To: v, Data: b.sendBuf})
 	}
 	return out
 }
@@ -87,12 +94,17 @@ func (b *LeaderBFS) Output() any {
 	return BFSResult{Leader: b.leader, Dist: b.dist, Parent: b.parent}
 }
 
+// bfsLen is the wire size of a BFS flood message.
+const bfsLen = 5
+
+// appendBFS packs (leader, dist) into 5 bytes appended to dst.
+func appendBFS(dst []byte, leader, dist int) []byte {
+	return append(dst, wireStatus+100, // distinct tag, private to this program
+		byte(leader>>8), byte(leader), byte(dist>>8), byte(dist))
+}
+
 func encodeBFS(leader, dist int) []byte {
-	buf := make([]byte, 5)
-	buf[0] = wireStatus + 100 // distinct tag, private to this program
-	binary.BigEndian.PutUint16(buf[1:], uint16(leader))
-	binary.BigEndian.PutUint16(buf[3:], uint16(dist))
-	return buf
+	return appendBFS(make([]byte, 0, bfsLen), leader, dist)
 }
 
 func decodeBFS(data []byte) (leader, dist int, err error) {

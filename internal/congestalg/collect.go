@@ -40,7 +40,9 @@ type CollectSolve struct {
 	children  []graphs.NodeID
 	childDone map[graphs.NodeID]bool
 
-	// Upcast state.
+	// Upcast state. Queued payloads are arena-retained: the engine
+	// recycles inbox storage between rounds.
+	arena     recArena
 	upQueue   [][]byte
 	ownQueued bool
 	sentDone  bool
@@ -55,9 +57,13 @@ type CollectSolve struct {
 	endSeen   bool
 	failed    error
 	done      bool
+
+	// sendBuf is the scratch buffer for broadcast payloads (BFS floods
+	// and the parent announcement), reused across rounds.
+	sendBuf []byte
 }
 
-var _ congest.NodeProgram = (*CollectSolve)(nil)
+var _ congest.BufferedProgram = (*CollectSolve)(nil)
 
 // NewCollectSolvePrograms returns one CollectSolve program per node.
 func NewCollectSolvePrograms(n int) []congest.NodeProgram {
@@ -76,37 +82,60 @@ const (
 	collectEnd
 )
 
-// Init implements congest.NodeProgram.
+// Static single-byte payloads; outgoing payloads are copied by the engine
+// at delivery, so sharing them across nodes and rounds is safe.
+var (
+	collectDoneMsg = []byte{collectDone}
+	collectEndMsg  = []byte{collectEnd}
+)
+
+// Init implements congest.NodeProgram. It resets all run state so a
+// Network can be Run repeatedly.
 func (cs *CollectSolve) Init(info congest.NodeInfo) {
 	cs.info = info
 	cs.leader = info.ID
 	cs.dist = 0
 	cs.parent = -1
+	cs.children = nil
 	cs.childDone = make(map[graphs.NodeID]bool)
+	cs.arena = recArena{}
+	cs.upQueue = nil
+	cs.ownQueued = false
+	cs.sentDone = false
 	cs.nodes = make(map[int]nodeRecord)
 	cs.edges = make(map[edgeRecord]bool)
+	cs.downQueue = nil
+	cs.member = false
+	cs.endSeen = false
+	cs.failed = nil
+	cs.done = false
+	cs.sendBuf = make([]byte, 0, nodeRecordLen)
 }
 
 // Round implements congest.NodeProgram.
 func (cs *CollectSolve) Round(round int, inbox []congest.Message) []congest.Message {
+	return cs.AppendRound(round, inbox, nil)
+}
+
+// AppendRound implements congest.BufferedProgram.
+func (cs *CollectSolve) AppendRound(round int, inbox []congest.Message, out []congest.Message) []congest.Message {
 	n := cs.info.N
 	switch {
 	case round <= n:
-		return cs.bfsRound(inbox)
+		return cs.bfsRound(inbox, out)
 	case round == n+1:
 		// BFS has stabilised; announce the parent to all neighbours.
-		payload := encodeParent(cs.parent)
-		out := make([]congest.Message, 0, len(cs.info.Neighbors))
+		cs.sendBuf = appendParent(cs.sendBuf[:0], cs.parent)
 		for _, v := range cs.info.Neighbors {
-			out = append(out, congest.Message{From: cs.info.ID, To: v, Data: payload})
+			out = append(out, congest.Message{From: cs.info.ID, To: v, Data: cs.sendBuf})
 		}
 		return out
 	default:
-		return cs.treeRound(inbox)
+		return cs.treeRound(inbox, out)
 	}
 }
 
-func (cs *CollectSolve) bfsRound(inbox []congest.Message) []congest.Message {
+func (cs *CollectSolve) bfsRound(inbox []congest.Message, out []congest.Message) []congest.Message {
 	for _, m := range inbox {
 		leader, dist, err := decodeBFS(m.Data)
 		if err != nil {
@@ -118,27 +147,25 @@ func (cs *CollectSolve) bfsRound(inbox []congest.Message) []congest.Message {
 			cs.parent = m.From
 		}
 	}
-	payload := encodeBFS(cs.leader, cs.dist)
-	out := make([]congest.Message, 0, len(cs.info.Neighbors))
+	cs.sendBuf = appendBFS(cs.sendBuf[:0], cs.leader, cs.dist)
 	for _, v := range cs.info.Neighbors {
-		out = append(out, congest.Message{From: cs.info.ID, To: v, Data: payload})
+		out = append(out, congest.Message{From: cs.info.ID, To: v, Data: cs.sendBuf})
 	}
 	return out
 }
 
 // treeRound drives the upcast and downcast phases.
-func (cs *CollectSolve) treeRound(inbox []congest.Message) []congest.Message {
+func (cs *CollectSolve) treeRound(inbox []congest.Message, out []congest.Message) []congest.Message {
 	for _, m := range inbox {
 		cs.consume(m)
 	}
 	if cs.failed != nil {
 		cs.done = true
-		return nil
+		return out
 	}
 	if !cs.ownQueued {
 		cs.queueOwnRecords()
 	}
-	var out []congest.Message
 
 	// Upcast: one item per round toward the parent.
 	if cs.parent != -1 {
@@ -147,7 +174,7 @@ func (cs *CollectSolve) treeRound(inbox []congest.Message) []congest.Message {
 			out = append(out, congest.Message{From: cs.info.ID, To: cs.parent, Data: cs.upQueue[0]})
 			cs.upQueue = cs.upQueue[1:]
 		case !cs.sentDone && cs.allChildrenDone():
-			out = append(out, congest.Message{From: cs.info.ID, To: cs.parent, Data: []byte{collectDone}})
+			out = append(out, congest.Message{From: cs.info.ID, To: cs.parent, Data: collectDoneMsg})
 			cs.sentDone = true
 		}
 	} else if cs.downQueue == nil && cs.allChildrenDone() && len(cs.upQueue) == 0 {
@@ -171,7 +198,9 @@ func (cs *CollectSolve) treeRound(inbox []congest.Message) []congest.Message {
 	return out
 }
 
-// consume dispatches one received message by tag.
+// consume dispatches one received message by tag. Payloads that must
+// survive past this round (relayed records and downcast items) are copied
+// into the program arena.
 func (cs *CollectSolve) consume(m congest.Message) {
 	if len(m.Data) == 0 {
 		return
@@ -187,7 +216,7 @@ func (cs *CollectSolve) consume(m congest.Message) {
 		if cs.parent == -1 {
 			cs.storeRecord(m.Data)
 		} else {
-			cs.upQueue = append(cs.upQueue, m.Data)
+			cs.upQueue = append(cs.upQueue, cs.arena.retain(m.Data))
 		}
 	case collectMember:
 		id := int(binary.BigEndian.Uint16(m.Data[1:]))
@@ -195,12 +224,12 @@ func (cs *CollectSolve) consume(m congest.Message) {
 			cs.member = true
 		}
 		if len(cs.children) > 0 {
-			cs.downQueue = append(cs.downQueue, m.Data)
+			cs.downQueue = append(cs.downQueue, cs.arena.retain(m.Data))
 		}
 	case collectEnd:
 		cs.endSeen = true
 		if len(cs.children) > 0 {
-			cs.downQueue = append(cs.downQueue, m.Data)
+			cs.downQueue = append(cs.downQueue, cs.arena.retain(m.Data))
 		}
 	}
 }
@@ -229,16 +258,16 @@ func (cs *CollectSolve) queueOwnRecords() {
 }
 
 func (cs *CollectSolve) storeRecord(data []byte) {
-	nr, er, err := decodeRecord(data)
+	nr, er, kind, err := decodeRecord(data)
 	if err != nil {
 		cs.failed = err
 		return
 	}
-	if nr != nil {
-		cs.nodes[nr.id] = *nr
-	}
-	if er != nil {
-		cs.edges[*er] = true
+	switch kind {
+	case wireNode:
+		cs.nodes[nr.id] = nr
+	case wireEdge:
+		cs.edges[er] = true
 	}
 }
 
@@ -251,8 +280,8 @@ func (cs *CollectSolve) allChildrenDone() bool {
 	return true
 }
 
-// solveAtRoot rebuilds the component's subgraph, solves it exactly, and
-// fills the downcast queue with the membership list.
+// solveAtRoot rebuilds the component's subgraph (label-free, pre-sized),
+// solves it exactly, and fills the downcast queue with the membership list.
 func (cs *CollectSolve) solveAtRoot() {
 	ids := make([]int, 0, len(cs.nodes))
 	for id := range cs.nodes {
@@ -260,10 +289,10 @@ func (cs *CollectSolve) solveAtRoot() {
 	}
 	sort.Ints(ids)
 	local := make(map[int]int, len(ids))
-	sub := graphs.New(len(ids))
+	sub := graphs.NewWithN(len(ids))
 	for i, id := range ids {
 		local[id] = i
-		sub.MustAddNode(fmt.Sprintf("n%d", id), cs.nodes[id].weight)
+		sub.AddNodeID(cs.nodes[id].weight)
 	}
 	for e := range cs.edges {
 		lu, okU := local[e.u]
@@ -294,7 +323,7 @@ func (cs *CollectSolve) solveAtRoot() {
 		binary.BigEndian.PutUint16(item[1:], uint16(id))
 		cs.downQueue = append(cs.downQueue, item)
 	}
-	cs.downQueue = append(cs.downQueue, []byte{collectEnd})
+	cs.downQueue = append(cs.downQueue, collectEndMsg)
 	cs.endSeen = true
 }
 
@@ -309,11 +338,10 @@ func (cs *CollectSolve) Output() any {
 	return cs.member
 }
 
-func encodeParent(parent int) []byte {
-	buf := make([]byte, 3)
-	buf[0] = collectParent
-	binary.BigEndian.PutUint16(buf[1:], uint16(parent+1)) // -1 maps to 0
-	return buf
+// appendParent packs a parent announcement into 3 bytes appended to dst.
+func appendParent(dst []byte, parent int) []byte {
+	p := uint16(parent + 1) // -1 maps to 0
+	return append(dst, collectParent, byte(p>>8), byte(p))
 }
 
 func decodeParent(data []byte) int {

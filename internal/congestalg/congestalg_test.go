@@ -63,25 +63,25 @@ func TestWireStatusRoundTrip(t *testing.T) {
 
 func TestWireRecordRoundTrip(t *testing.T) {
 	nr := nodeRecord{id: 513, weight: 70000, degree: 12}
-	gotN, gotE, err := decodeRecord(encodeNodeRecord(nr))
-	if err != nil || gotE != nil || gotN == nil || *gotN != nr {
-		t.Fatalf("node record round trip: %v %v %v", gotN, gotE, err)
+	gotN, gotE, kind, err := decodeRecord(encodeNodeRecord(nr))
+	if err != nil || kind != wireNode || gotN != nr {
+		t.Fatalf("node record round trip: %v %v %d %v", gotN, gotE, kind, err)
 	}
 	er := edgeRecord{u: 3, v: 700}
-	gotN, gotE, err = decodeRecord(encodeEdgeRecord(er))
-	if err != nil || gotN != nil || gotE == nil || *gotE != er {
-		t.Fatalf("edge record round trip: %v %v %v", gotN, gotE, err)
+	gotN, gotE, kind, err = decodeRecord(encodeEdgeRecord(er))
+	if err != nil || kind != wireEdge || gotE != er {
+		t.Fatalf("edge record round trip: %v %v %d %v", gotN, gotE, kind, err)
 	}
-	if _, _, err := decodeRecord(nil); err == nil {
+	if _, _, _, err := decodeRecord(nil); err == nil {
 		t.Fatal("empty record accepted")
 	}
-	if _, _, err := decodeRecord([]byte{wireNode, 1}); err == nil {
+	if _, _, _, err := decodeRecord([]byte{wireNode, 1}); err == nil {
 		t.Fatal("short node record accepted")
 	}
-	if _, _, err := decodeRecord([]byte{wireEdge, 1}); err == nil {
+	if _, _, _, err := decodeRecord([]byte{wireEdge, 1}); err == nil {
 		t.Fatal("short edge record accepted")
 	}
-	if _, _, err := decodeRecord([]byte{99, 0, 0, 0, 0}); err == nil {
+	if _, _, _, err := decodeRecord([]byte{99, 0, 0, 0, 0}); err == nil {
 		t.Fatal("unknown record type accepted")
 	}
 }

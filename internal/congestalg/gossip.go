@@ -21,23 +21,42 @@ import (
 // knows m = Σdeg/2 and can tell when its edge-record collection is
 // complete.
 //
+// Rather than buffering records and rebuilding the graph when gossip
+// completes, the program reconstructs the network graph incrementally as
+// records arrive, in a pre-sized label-free graphs.Graph (NewWithN +
+// AddNodeID): arrival-time deduplication doubles as the rebuild, and the
+// local solve runs directly on the reconstructed graph with no label
+// formatting at all.
+//
 // Output: []graphs.NodeID — the (identical) optimum independent set
 // computed at every node, or an error value if the local solve failed.
 type GossipExact struct {
 	info congest.NodeInfo
 
-	nodes map[int]nodeRecord
-	edges map[edgeRecord]bool
+	// rebuilt is the incrementally reconstructed network graph; known
+	// marks node IDs whose records arrived, degSum their degree total.
+	rebuilt    *graphs.Graph
+	known      []bool
+	knownCount int
+	degSum     int
 
-	// sendQueue[v] holds encoded records not yet forwarded to neighbour v.
-	sendQueue map[graphs.NodeID][][]byte
+	// buf retains record payloads beyond the engine's per-round delivery
+	// window (append-only; records are addressed by offset, so growth
+	// never invalidates a queued reference). queues[i] holds packed
+	// (offset<<8 | length) references to records not yet forwarded to
+	// neighbour i, qhead[i] the next to send — pointer-free queues that
+	// cost 8 bytes per pending record and nothing to the garbage
+	// collector.
+	buf    []byte
+	queues [][]uint64
+	qhead  []int
 
 	solved bool
 	result []graphs.NodeID
 	errVal error
 }
 
-var _ congest.NodeProgram = (*GossipExact)(nil)
+var _ congest.BufferedProgram = (*GossipExact)(nil)
 
 // NewGossipExactPrograms returns one GossipExact program per node.
 func NewGossipExactPrograms(n int) []congest.NodeProgram {
@@ -51,63 +70,106 @@ func NewGossipExactPrograms(n int) []congest.NodeProgram {
 // Init implements congest.NodeProgram.
 func (g *GossipExact) Init(info congest.NodeInfo) {
 	g.info = info
-	g.nodes = make(map[int]nodeRecord, info.N)
-	g.edges = make(map[edgeRecord]bool)
-	g.sendQueue = make(map[graphs.NodeID][][]byte, len(info.Neighbors))
+	g.rebuilt = graphs.NewWithN(info.N)
+	for i := 0; i < info.N; i++ {
+		g.rebuilt.AddNodeID(0)
+	}
+	g.known = make([]bool, info.N)
+	g.knownCount = 0
+	g.degSum = 0
+	g.buf = nil
+	g.queues = make([][]uint64, len(info.Neighbors))
+	g.qhead = make([]int, len(info.Neighbors))
+	g.solved = false
+	g.result = nil
+	g.errVal = nil
 
 	self := nodeRecord{id: info.ID, weight: info.Weight, degree: len(info.Neighbors)}
-	g.nodes[info.ID] = self
-	g.enqueueForAll(encodeNodeRecord(self), -1)
+	g.storeNode(self)
+	g.enqueueForAll(g.retain(encodeNodeRecord(self)), -1)
 	for _, v := range info.Neighbors {
 		if info.ID < v {
 			e := edgeRecord{u: info.ID, v: v}
-			g.edges[e] = true
-			g.enqueueForAll(encodeEdgeRecord(e), -1)
+			g.rebuilt.MustAddEdge(e.u, e.v)
+			g.enqueueForAll(g.retain(encodeEdgeRecord(e)), -1)
 		}
 	}
 }
 
-// enqueueForAll queues payload for every neighbour except the source it
-// came from (-1 for own records).
-func (g *GossipExact) enqueueForAll(payload []byte, except graphs.NodeID) {
-	for _, v := range g.info.Neighbors {
-		if v == except {
+// retain appends data to the program's record store and returns the packed
+// (offset<<8 | length) reference that addresses it.
+func (g *GossipExact) retain(data []byte) uint64 {
+	off := len(g.buf)
+	g.buf = append(g.buf, data...)
+	return uint64(off)<<8 | uint64(len(data))
+}
+
+// payload resolves a packed reference back to its bytes.
+func (g *GossipExact) payload(ref uint64) []byte {
+	off, length := ref>>8, ref&0xFF
+	return g.buf[off : off+length : off+length]
+}
+
+// storeNode records a newly learned node: its weight lands in the rebuilt
+// graph, its degree in the termination accounting.
+func (g *GossipExact) storeNode(r nodeRecord) {
+	g.known[r.id] = true
+	g.knownCount++
+	g.degSum += r.degree
+	g.rebuilt.SetWeight(r.id, r.weight)
+}
+
+// enqueueForAll queues a retained record reference for every neighbour
+// except the one at index except (-1 for own records).
+func (g *GossipExact) enqueueForAll(ref uint64, except int) {
+	for i := range g.queues {
+		if i == except {
 			continue
 		}
-		g.sendQueue[v] = append(g.sendQueue[v], payload)
+		g.queues[i] = append(g.queues[i], ref)
 	}
 }
 
 // Round implements congest.NodeProgram.
 func (g *GossipExact) Round(round int, inbox []congest.Message) []congest.Message {
+	return g.AppendRound(round, inbox, nil)
+}
+
+// AppendRound implements congest.BufferedProgram.
+func (g *GossipExact) AppendRound(round int, inbox []congest.Message, out []congest.Message) []congest.Message {
 	for _, m := range inbox {
-		nr, er, err := decodeRecord(m.Data)
+		nr, er, kind, err := decodeRecord(m.Data)
 		if err != nil {
 			g.fail(fmt.Errorf("gossip at node %d: %w", g.info.ID, err))
-			return nil
+			return out
 		}
-		switch {
-		case nr != nil:
-			if _, known := g.nodes[nr.id]; !known {
-				g.nodes[nr.id] = *nr
-				g.enqueueForAll(m.Data, m.From)
+		from := neighborIndex(g.info.Neighbors, m.From)
+		switch kind {
+		case wireNode:
+			if nr.id < 0 || nr.id >= g.info.N {
+				g.fail(fmt.Errorf("gossip at node %d: node record %d out of range", g.info.ID, nr.id))
+				return out
 			}
-		case er != nil:
-			if !g.edges[*er] {
-				g.edges[*er] = true
-				g.enqueueForAll(m.Data, m.From)
+			if !g.known[nr.id] {
+				g.storeNode(nr)
+				g.enqueueForAll(g.retain(m.Data), from)
+			}
+		case wireEdge:
+			if !g.rebuilt.HasEdge(er.u, er.v) {
+				if err := g.rebuilt.AddEdge(er.u, er.v); err != nil {
+					g.fail(fmt.Errorf("gossip at node %d: rebuild edge: %w", g.info.ID, err))
+					return out
+				}
+				g.enqueueForAll(g.retain(m.Data), from)
 			}
 		}
 	}
 
-	out := make([]congest.Message, 0, len(g.info.Neighbors))
-	for _, v := range g.info.Neighbors {
-		queue := g.sendQueue[v]
-		if len(queue) == 0 {
-			continue
+	for i, v := range g.info.Neighbors {
+		if g.qhead[i] < len(g.queues[i]) {
+			out = append(out, congest.Message{From: g.info.ID, To: v, Data: g.payload(g.queues[i][g.qhead[i]])})
+			g.qhead[i]++
 		}
-		out = append(out, congest.Message{From: g.info.ID, To: v, Data: queue[0]})
-		g.sendQueue[v] = queue[1:]
 	}
 
 	if !g.solved && g.complete() {
@@ -118,36 +180,14 @@ func (g *GossipExact) Round(round int, inbox []congest.Message) []congest.Messag
 
 // complete reports whether the full graph is known locally.
 func (g *GossipExact) complete() bool {
-	if len(g.nodes) != g.info.N {
-		return false
-	}
-	degSum := 0
-	for _, r := range g.nodes {
-		degSum += r.degree
-	}
-	return len(g.edges) == degSum/2
+	return g.knownCount == g.info.N && g.rebuilt.M() == g.degSum/2
 }
 
-// solve reconstructs the graph and runs the exact MaxIS solver. Every node
+// solve runs the exact MaxIS solver on the reconstructed graph. Every node
 // performs the identical deterministic computation, so all outputs agree.
 func (g *GossipExact) solve() {
 	g.solved = true
-	rebuilt := graphs.New(g.info.N)
-	for id := 0; id < g.info.N; id++ {
-		r, ok := g.nodes[id]
-		if !ok {
-			g.fail(fmt.Errorf("gossip at node %d: node record %d missing", g.info.ID, id))
-			return
-		}
-		rebuilt.MustAddNode(fmt.Sprintf("n%d", id), r.weight)
-	}
-	for e := range g.edges {
-		if err := rebuilt.AddEdge(e.u, e.v); err != nil {
-			g.fail(fmt.Errorf("gossip at node %d: rebuild edge: %w", g.info.ID, err))
-			return
-		}
-	}
-	sol, err := mis.Exact(rebuilt, mis.Options{})
+	sol, err := mis.Exact(g.rebuilt, mis.Options{})
 	if err != nil {
 		g.fail(fmt.Errorf("gossip at node %d: local solve: %w", g.info.ID, err))
 		return
@@ -168,8 +208,8 @@ func (g *GossipExact) Done() bool {
 	if !g.solved {
 		return false
 	}
-	for _, q := range g.sendQueue {
-		if len(q) > 0 {
+	for i := range g.queues {
+		if g.qhead[i] < len(g.queues[i]) {
 			return false
 		}
 	}

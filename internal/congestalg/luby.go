@@ -1,9 +1,22 @@
 package congestalg
 
 import (
+	"sort"
+
 	"congestlb/internal/congest"
 	"congestlb/internal/graphs"
 )
+
+// neighborIndex returns the position of v in the sorted neighbour list, or
+// -1 when v is not a neighbour. Programs use it to keep per-neighbour state
+// in flat slices instead of maps.
+func neighborIndex(neighbors []graphs.NodeID, v graphs.NodeID) int {
+	i := sort.SearchInts(neighbors, v)
+	if i < len(neighbors) && neighbors[i] == v {
+		return i
+	}
+	return -1
+}
 
 // Luby is the randomised maximal-independent-set program. Phases take two
 // rounds: in draw rounds every undecided node broadcasts a fresh random
@@ -21,12 +34,16 @@ type Luby struct {
 	state byte
 	value uint32
 	// neighborState/neighborValue mirror the latest broadcast of each
-	// neighbour.
-	neighborState map[graphs.NodeID]byte
-	neighborValue map[graphs.NodeID]uint32
+	// neighbour, indexed by position in info.Neighbors.
+	neighborState []byte
+	neighborValue []uint32
+	// sendBuf is the scratch buffer the broadcast payload is encoded
+	// into; the engine copies payloads at delivery, so reusing it across
+	// rounds is safe and allocation-free.
+	sendBuf []byte
 }
 
-var _ congest.NodeProgram = (*Luby)(nil)
+var _ congest.BufferedProgram = (*Luby)(nil)
 
 // NewLubyPrograms returns one Luby program per node of an n-node network.
 func NewLubyPrograms(n int) []congest.NodeProgram {
@@ -41,10 +58,11 @@ func NewLubyPrograms(n int) []congest.NodeProgram {
 func (l *Luby) Init(info congest.NodeInfo) {
 	l.info = info
 	l.state = stateUndecided
-	l.neighborState = make(map[graphs.NodeID]byte, len(info.Neighbors))
-	l.neighborValue = make(map[graphs.NodeID]uint32, len(info.Neighbors))
-	for _, v := range info.Neighbors {
-		l.neighborState[v] = stateUndecided
+	l.neighborState = make([]byte, len(info.Neighbors))
+	l.neighborValue = make([]uint32, len(info.Neighbors))
+	l.sendBuf = make([]byte, 0, statusLen)
+	for i := range l.neighborState {
+		l.neighborState[i] = stateUndecided
 	}
 	// Isolated nodes join immediately.
 	if len(info.Neighbors) == 0 {
@@ -54,6 +72,11 @@ func (l *Luby) Init(info congest.NodeInfo) {
 
 // Round implements congest.NodeProgram.
 func (l *Luby) Round(round int, inbox []congest.Message) []congest.Message {
+	return l.AppendRound(round, inbox, nil)
+}
+
+// AppendRound implements congest.BufferedProgram.
+func (l *Luby) AppendRound(round int, inbox []congest.Message, out []congest.Message) []congest.Message {
 	for _, m := range inbox {
 		state, value, err := decodeStatus(m.Data)
 		if err != nil {
@@ -62,8 +85,10 @@ func (l *Luby) Round(round int, inbox []congest.Message) []congest.Message {
 			l.state = stateOut
 			continue
 		}
-		l.neighborState[m.From] = state
-		l.neighborValue[m.From] = value
+		if i := neighborIndex(l.info.Neighbors, m.From); i >= 0 {
+			l.neighborState[i] = state
+			l.neighborValue[i] = value
+		}
 	}
 
 	if round%2 == 1 { // draw round
@@ -84,29 +109,28 @@ func (l *Luby) Round(round int, inbox []congest.Message) []congest.Message {
 			l.state = stateIn
 		}
 	}
-	return l.broadcastStatus()
+	return l.appendBroadcast(out)
 }
 
 // localMax reports whether (value, ID) strictly dominates every undecided
 // neighbour's latest draw.
 func (l *Luby) localMax() bool {
-	for v, st := range l.neighborState {
+	for i, st := range l.neighborState {
 		if st != stateUndecided {
 			continue
 		}
-		nv := l.neighborValue[v]
-		if nv > l.value || (nv == l.value && v > l.info.ID) {
+		nv := l.neighborValue[i]
+		if nv > l.value || (nv == l.value && l.info.Neighbors[i] > l.info.ID) {
 			return false
 		}
 	}
 	return true
 }
 
-func (l *Luby) broadcastStatus() []congest.Message {
-	out := make([]congest.Message, 0, len(l.info.Neighbors))
-	payload := encodeStatus(l.state, l.value)
+func (l *Luby) appendBroadcast(out []congest.Message) []congest.Message {
+	l.sendBuf = appendStatus(l.sendBuf[:0], l.state, l.value)
 	for _, v := range l.info.Neighbors {
-		out = append(out, congest.Message{From: l.info.ID, To: v, Data: payload})
+		out = append(out, congest.Message{From: l.info.ID, To: v, Data: l.sendBuf})
 	}
 	return out
 }
@@ -140,12 +164,14 @@ type RankGreedy struct {
 	// rank is weight truncated to 32 bits; the simulator's constructions
 	// use weights ≤ ℓ which fit comfortably.
 	rank          uint32
-	neighborState map[graphs.NodeID]byte
-	neighborRank  map[graphs.NodeID]uint32
-	heardFrom     map[graphs.NodeID]bool
+	neighborState []byte
+	neighborRank  []uint32
+	heard         []bool
+	heardCount    int
+	sendBuf       []byte
 }
 
-var _ congest.NodeProgram = (*RankGreedy)(nil)
+var _ congest.BufferedProgram = (*RankGreedy)(nil)
 
 // NewRankGreedyPrograms returns one RankGreedy program per node.
 func NewRankGreedyPrograms(n int) []congest.NodeProgram {
@@ -161,11 +187,13 @@ func (r *RankGreedy) Init(info congest.NodeInfo) {
 	r.info = info
 	r.state = stateUndecided
 	r.rank = uint32(info.Weight)
-	r.neighborState = make(map[graphs.NodeID]byte, len(info.Neighbors))
-	r.neighborRank = make(map[graphs.NodeID]uint32, len(info.Neighbors))
-	r.heardFrom = make(map[graphs.NodeID]bool, len(info.Neighbors))
-	for _, v := range info.Neighbors {
-		r.neighborState[v] = stateUndecided
+	r.neighborState = make([]byte, len(info.Neighbors))
+	r.neighborRank = make([]uint32, len(info.Neighbors))
+	r.heard = make([]bool, len(info.Neighbors))
+	r.heardCount = 0
+	r.sendBuf = make([]byte, 0, statusLen)
+	for i := range r.neighborState {
+		r.neighborState[i] = stateUndecided
 	}
 	if len(info.Neighbors) == 0 {
 		r.state = stateIn
@@ -174,15 +202,25 @@ func (r *RankGreedy) Init(info congest.NodeInfo) {
 
 // Round implements congest.NodeProgram.
 func (r *RankGreedy) Round(round int, inbox []congest.Message) []congest.Message {
+	return r.AppendRound(round, inbox, nil)
+}
+
+// AppendRound implements congest.BufferedProgram.
+func (r *RankGreedy) AppendRound(round int, inbox []congest.Message, out []congest.Message) []congest.Message {
 	for _, m := range inbox {
 		state, rank, err := decodeStatus(m.Data)
 		if err != nil {
 			r.state = stateOut
 			continue
 		}
-		r.neighborState[m.From] = state
-		r.neighborRank[m.From] = rank
-		r.heardFrom[m.From] = true
+		if i := neighborIndex(r.info.Neighbors, m.From); i >= 0 {
+			r.neighborState[i] = state
+			r.neighborRank[i] = rank
+			if !r.heard[i] {
+				r.heard[i] = true
+				r.heardCount++
+			}
+		}
 	}
 
 	// Round 1 only announces ranks; decisions start once every neighbour's
@@ -195,25 +233,24 @@ func (r *RankGreedy) Round(round int, inbox []congest.Message) []congest.Message
 			}
 		}
 	}
-	if round >= 2 && r.state == stateUndecided && len(r.heardFrom) == len(r.info.Neighbors) && r.localMax() {
+	if round >= 2 && r.state == stateUndecided && r.heardCount == len(r.info.Neighbors) && r.localMax() {
 		r.state = stateIn
 	}
 
-	out := make([]congest.Message, 0, len(r.info.Neighbors))
-	payload := encodeStatus(r.state, r.rank)
+	r.sendBuf = appendStatus(r.sendBuf[:0], r.state, r.rank)
 	for _, v := range r.info.Neighbors {
-		out = append(out, congest.Message{From: r.info.ID, To: v, Data: payload})
+		out = append(out, congest.Message{From: r.info.ID, To: v, Data: r.sendBuf})
 	}
 	return out
 }
 
 func (r *RankGreedy) localMax() bool {
-	for v, st := range r.neighborState {
+	for i, st := range r.neighborState {
 		if st != stateUndecided {
 			continue
 		}
-		nr := r.neighborRank[v]
-		if nr > r.rank || (nr == r.rank && v > r.info.ID) {
+		nr := r.neighborRank[i]
+		if nr > r.rank || (nr == r.rank && r.info.Neighbors[i] > r.info.ID) {
 			return false
 		}
 	}

@@ -38,13 +38,20 @@ const (
 	stateOut
 )
 
-// encodeStatus packs (state, value32) into 6 bytes.
+// statusLen is the wire size of a status message.
+const statusLen = 6
+
+// appendStatus packs (state, value32) into 6 bytes appended to dst. It is
+// the allocation-free form used by the hot paths: programs feed it a
+// per-program scratch buffer truncated to length 0.
+func appendStatus(dst []byte, state byte, value uint32) []byte {
+	return append(dst, wireStatus, state,
+		byte(value>>24), byte(value>>16), byte(value>>8), byte(value))
+}
+
+// encodeStatus is appendStatus into a fresh buffer.
 func encodeStatus(state byte, value uint32) []byte {
-	buf := make([]byte, 6)
-	buf[0] = wireStatus
-	buf[1] = state
-	binary.BigEndian.PutUint32(buf[2:], value)
-	return buf
+	return appendStatus(make([]byte, 0, statusLen), state, value)
 }
 
 // decodeStatus unpacks a status message.
@@ -67,49 +74,87 @@ type edgeRecord struct {
 	u, v int
 }
 
-// encodeNodeRecord packs a node record into 9 bytes.
+// Wire sizes of the two record types.
+const (
+	nodeRecordLen = 9
+	edgeRecordLen = 5
+)
+
+// appendNodeRecord packs a node record into 9 bytes appended to dst.
+func appendNodeRecord(dst []byte, r nodeRecord) []byte {
+	return append(dst, wireNode,
+		byte(r.id>>8), byte(r.id),
+		byte(r.weight>>24), byte(r.weight>>16), byte(r.weight>>8), byte(r.weight),
+		byte(r.degree>>8), byte(r.degree))
+}
+
+// encodeNodeRecord is appendNodeRecord into a fresh buffer.
 func encodeNodeRecord(r nodeRecord) []byte {
-	buf := make([]byte, 9)
-	buf[0] = wireNode
-	binary.BigEndian.PutUint16(buf[1:], uint16(r.id))
-	binary.BigEndian.PutUint32(buf[3:], uint32(r.weight))
-	binary.BigEndian.PutUint16(buf[7:], uint16(r.degree))
-	return buf
+	return appendNodeRecord(make([]byte, 0, nodeRecordLen), r)
 }
 
-// encodeEdgeRecord packs an edge record into 5 bytes.
+// appendEdgeRecord packs an edge record into 5 bytes appended to dst.
+func appendEdgeRecord(dst []byte, r edgeRecord) []byte {
+	return append(dst, wireEdge,
+		byte(r.u>>8), byte(r.u),
+		byte(r.v>>8), byte(r.v))
+}
+
+// encodeEdgeRecord is appendEdgeRecord into a fresh buffer.
 func encodeEdgeRecord(r edgeRecord) []byte {
-	buf := make([]byte, 5)
-	buf[0] = wireEdge
-	binary.BigEndian.PutUint16(buf[1:], uint16(r.u))
-	binary.BigEndian.PutUint16(buf[3:], uint16(r.v))
-	return buf
+	return appendEdgeRecord(make([]byte, 0, edgeRecordLen), r)
 }
 
-// decodeRecord unpacks either record type, returning exactly one of them.
-func decodeRecord(data []byte) (*nodeRecord, *edgeRecord, error) {
+// decodeRecord unpacks either record type by value (no heap traffic); kind
+// is wireNode or wireEdge and selects which return value is meaningful.
+func decodeRecord(data []byte) (nr nodeRecord, er edgeRecord, kind byte, err error) {
 	if len(data) == 0 {
-		return nil, nil, fmt.Errorf("congestalg: empty record")
+		return nr, er, 0, fmt.Errorf("congestalg: empty record")
 	}
 	switch data[0] {
 	case wireNode:
-		if len(data) != 9 {
-			return nil, nil, fmt.Errorf("congestalg: malformed node record % x", data)
+		if len(data) != nodeRecordLen {
+			return nr, er, 0, fmt.Errorf("congestalg: malformed node record % x", data)
 		}
-		return &nodeRecord{
+		nr = nodeRecord{
 			id:     int(binary.BigEndian.Uint16(data[1:])),
 			weight: int64(binary.BigEndian.Uint32(data[3:])),
 			degree: int(binary.BigEndian.Uint16(data[7:])),
-		}, nil, nil
-	case wireEdge:
-		if len(data) != 5 {
-			return nil, nil, fmt.Errorf("congestalg: malformed edge record % x", data)
 		}
-		return nil, &edgeRecord{
+		return nr, er, wireNode, nil
+	case wireEdge:
+		if len(data) != edgeRecordLen {
+			return nr, er, 0, fmt.Errorf("congestalg: malformed edge record % x", data)
+		}
+		er = edgeRecord{
 			u: int(binary.BigEndian.Uint16(data[1:])),
 			v: int(binary.BigEndian.Uint16(data[3:])),
-		}, nil
+		}
+		return nr, er, wireEdge, nil
 	default:
-		return nil, nil, fmt.Errorf("congestalg: unknown record type %d", data[0])
+		return nr, er, 0, fmt.Errorf("congestalg: unknown record type %d", data[0])
 	}
+}
+
+// recArena retains small payloads beyond the engine's per-round delivery
+// window (which recycles inbox backing storage): retain copies data into a
+// chunk owned by the program and returns a stable slice. Chunks are never
+// reallocated in place, so previously returned slices stay valid.
+type recArena struct {
+	chunk []byte
+}
+
+const recArenaChunk = 4096
+
+func (a *recArena) retain(data []byte) []byte {
+	if len(a.chunk)+len(data) > cap(a.chunk) {
+		size := recArenaChunk
+		if len(data) > size {
+			size = len(data)
+		}
+		a.chunk = make([]byte, 0, size)
+	}
+	off := len(a.chunk)
+	a.chunk = append(a.chunk, data...)
+	return a.chunk[off:len(a.chunk):len(a.chunk)]
 }

@@ -84,9 +84,12 @@ func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptE
 	cfg.Hook = func(round int, msg congest.Message) error {
 		if part.Of(msg.From) != part.Of(msg.To) {
 			// The owner of the sender writes the message on the shared
-			// blackboard, where the owner of the receiver reads it.
-			label := fmt.Sprintf("r%d:%d->%d", round, msg.From, msg.To)
-			if err := board.Write(part.Of(msg.From), label, msg.Data, msg.Bits()); err != nil {
+			// blackboard, where the owner of the receiver reads it. The
+			// structured tag replaces the old per-message label string:
+			// it renders identically on transcript inspection but costs
+			// no allocation per cut-crossing message.
+			tag := cc.Tag{Round: round, From: msg.From, To: msg.To}
+			if err := board.WriteTagged(part.Of(msg.From), tag, msg.Data, msg.Bits()); err != nil {
 				return err
 			}
 			writes++

@@ -42,12 +42,20 @@ func TestByIDMissing(t *testing.T) {
 	}
 }
 
+// longExperiments are the two full-reduction sweeps that dominate the
+// suite's runtime; they are skipped under -short so `go test -short ./...`
+// stays fast.
+var longExperiments = map[string]bool{"scaling": true, "theorem5": true}
+
 // TestEveryExperimentRunsClean executes each experiment and requires all
 // internal assertions to pass and a non-trivial report to be produced.
 func TestEveryExperimentRunsClean(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && longExperiments[e.ID] {
+				t.Skipf("skipping long experiment %s in -short mode", e.ID)
+			}
 			var buf bytes.Buffer
 			if err := e.Run(&buf); err != nil {
 				t.Fatalf("experiment %s failed: %v", e.ID, err)
@@ -64,6 +72,9 @@ func TestEveryExperimentRunsClean(t *testing.T) {
 }
 
 func TestRunAllAggregates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll executes every experiment, including the long sweeps; skipped in -short mode")
+	}
 	var buf bytes.Buffer
 	if err := RunAll(&buf); err != nil {
 		t.Fatal(err)

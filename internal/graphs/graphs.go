@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -31,6 +32,16 @@ type Graph struct {
 	byLabel map[string]NodeID
 	rows    [][]uint64 // rows[u] is the neighbour bitset of u
 	edges   int
+
+	// rowWords, when non-zero, is the pre-sized bitset row width set by
+	// Grow/NewWithN: rows are materialised at this width up front, out of
+	// the flat arena below, so AddEdge never regrows-and-copies.
+	rowWords int
+	arena    []uint64 // backing storage for pre-sized rows
+	arenaOff int
+	// hasAuto records that at least one node was added without a label
+	// (AddNodeID); such labels are synthesised on demand.
+	hasAuto bool
 }
 
 // New returns an empty graph. Capacity hints avoid re-allocation when the
@@ -41,6 +52,54 @@ func New(capacityHint int) *Graph {
 		labels:  make([]string, 0, capacityHint),
 		byLabel: make(map[string]NodeID, capacityHint),
 	}
+}
+
+// NewWithN returns an empty graph pre-sized for exactly n nodes: node
+// tables have capacity n and every bitset row is materialised at full
+// n-bit width out of one contiguous allocation, making the subsequent
+// AddNodeID/AddEdge calls allocation-free. This is the fast path used by
+// CONGEST programs that rebuild the network graph locally every run.
+func NewWithN(n int) *Graph {
+	g := New(n)
+	g.Grow(n)
+	return g
+}
+
+// Grow pre-sizes the graph for n nodes (a no-op if n is not larger than
+// the current pre-size or node count): existing rows are widened to the
+// n-node width once, and rows of future nodes are carved out of a single
+// flat arena, eliminating the lazy per-edge regrow-and-copy.
+func (g *Graph) Grow(n int) {
+	if n < g.N() {
+		n = g.N()
+	}
+	w := (n + wordBits - 1) / wordBits
+	if w <= g.rowWords {
+		return
+	}
+	g.rowWords = w
+	g.arena = make([]uint64, (n-g.N())*w)
+	g.arenaOff = 0
+	for u := range g.rows {
+		grown := make([]uint64, w)
+		copy(grown, g.rows[u])
+		g.rows[u] = grown
+	}
+}
+
+// newRow returns the bitset row for a node being added: a full-width slice
+// from the arena when the graph is pre-sized, nil (lazily grown) otherwise.
+func (g *Graph) newRow() []uint64 {
+	if g.rowWords == 0 {
+		return nil // grown lazily on first edge
+	}
+	if g.arenaOff+g.rowWords > len(g.arena) {
+		// Pre-size exceeded; fall back to a direct allocation.
+		return make([]uint64, g.rowWords)
+	}
+	row := g.arena[g.arenaOff : g.arenaOff+g.rowWords : g.arenaOff+g.rowWords]
+	g.arenaOff += g.rowWords
+	return row
 }
 
 // AddNode adds a node with the given label and weight and returns its ID.
@@ -57,8 +116,51 @@ func (g *Graph) AddNode(label string, weight int64) (NodeID, error) {
 	g.weights = append(g.weights, weight)
 	g.labels = append(g.labels, label)
 	g.byLabel[label] = id
-	g.rows = append(g.rows, nil) // grown lazily on first edge
+	g.rows = append(g.rows, g.newRow())
 	return id, nil
+}
+
+// AddNodeID adds a node with the given weight and no label, returning its
+// ID. The label is synthesised lazily ("n<id>") only if Label or
+// NodeByLabel is ever called, so graphs rebuilt purely by ID (the CONGEST
+// gossip/collect programs) never pay for label formatting or the label
+// table. On a pre-sized graph (NewWithN/Grow) this performs no allocation.
+func (g *Graph) AddNodeID(weight int64) NodeID {
+	id := len(g.weights)
+	g.weights = append(g.weights, weight)
+	g.labels = append(g.labels, "")
+	g.rows = append(g.rows, g.newRow())
+	g.hasAuto = true
+	return id
+}
+
+// autoLabel is the synthesised label of an unlabelled node.
+func autoLabel(id NodeID) string { return "n" + strconv.Itoa(id) }
+
+// materializeLabels assigns the synthesised label to every unlabelled node
+// and registers it in the label table, so label-based lookups see them. A
+// synthesised label that collides with an explicit one gets apostrophes
+// appended until unique (only possible when AddNode and AddNodeID are
+// mixed with clashing names).
+func (g *Graph) materializeLabels() {
+	if !g.hasAuto {
+		return
+	}
+	g.hasAuto = false
+	for u, label := range g.labels {
+		if label != "" {
+			continue
+		}
+		candidate := autoLabel(u)
+		for {
+			if _, taken := g.byLabel[candidate]; !taken {
+				break
+			}
+			candidate += "'"
+		}
+		g.labels[u] = candidate
+		g.byLabel[candidate] = u
+	}
 }
 
 // MustAddNode is AddNode panicking on error, for fixed constructions whose
@@ -156,11 +258,18 @@ func (g *Graph) Weight(u NodeID) int64 { return g.weights[u] }
 // SetWeight updates the weight of u.
 func (g *Graph) SetWeight(u NodeID, w int64) { g.weights[u] = w }
 
-// Label returns the label of u.
-func (g *Graph) Label(u NodeID) string { return g.labels[u] }
+// Label returns the label of u, synthesising it for nodes added by
+// AddNodeID.
+func (g *Graph) Label(u NodeID) string {
+	if g.labels[u] == "" {
+		g.materializeLabels()
+	}
+	return g.labels[u]
+}
 
 // NodeByLabel resolves a label to its node ID.
 func (g *Graph) NodeByLabel(label string) (NodeID, bool) {
+	g.materializeLabels()
 	id, ok := g.byLabel[label]
 	return id, ok
 }
@@ -257,6 +366,7 @@ func (g *Graph) WeightOfSet(set []NodeID) int64 {
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	out := New(g.N())
+	out.hasAuto = g.hasAuto
 	out.weights = append(out.weights, g.weights...)
 	out.labels = append(out.labels, g.labels...)
 	for label, id := range g.byLabel {
@@ -332,7 +442,7 @@ func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, []NodeID, error) {
 		if _, dup := newID[u]; dup {
 			return nil, nil, fmt.Errorf("graphs: duplicate node %d in induced subgraph", u)
 		}
-		id, err := sub.AddNode(g.labels[u], g.weights[u])
+		id, err := sub.AddNode(g.Label(u), g.weights[u])
 		if err != nil {
 			return nil, nil, err
 		}
@@ -452,6 +562,7 @@ func (g *Graph) Validate() error {
 // DOT renders the graph in Graphviz format. Weighted nodes show their
 // weight; an optional partition colours nodes by owner.
 func (g *Graph) DOT(name string, p *Partition) string {
+	g.materializeLabels()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "graph %q {\n", name)
 	for u := 0; u < g.N(); u++ {
@@ -471,6 +582,7 @@ func (g *Graph) DOT(name string, p *Partition) string {
 // SortedLabels returns all labels in sorted order; deterministic output for
 // golden tests.
 func (g *Graph) SortedLabels() []string {
+	g.materializeLabels()
 	out := append([]string(nil), g.labels...)
 	sort.Strings(out)
 	return out
