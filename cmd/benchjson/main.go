@@ -7,6 +7,16 @@
 // Only benchmark result lines are consumed; everything else (goos/goarch
 // headers, PASS/ok trailers) is ignored. Benchmarks are emitted sorted by
 // name, one object per benchmark with ns/op, B/op and allocs/op.
+//
+// It also consumes the experiment runner's JSON result envelope
+// (cmd/experiments -json):
+//
+//	benchjson -experiments experiments.json
+//
+// prints a per-experiment summary (status, wall time, solver work, cache
+// traffic) and exits non-zero if the envelope is malformed or any
+// experiment finished with a non-ok status — the CI gate for the sharded
+// experiment smoke run.
 package main
 
 import (
@@ -19,6 +29,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"congestlb/internal/runner"
 )
 
 // Result is one benchmark measurement.
@@ -93,8 +105,40 @@ func convert(r io.Reader, w io.Writer) error {
 	return enc.Encode(results)
 }
 
+// checkEnvelope validates an experiment result envelope: well-formed JSON
+// with the expected schema, and every experiment ok. A human-readable
+// summary is written to w either way; a non-nil error means CI must fail.
+func checkEnvelope(r io.Reader, w io.Writer) error {
+	var env runner.Envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return fmt.Errorf("benchjson: envelope: %w", err)
+	}
+	if env.Schema != runner.Schema {
+		return fmt.Errorf("benchjson: envelope schema %q, want %q", env.Schema, runner.Schema)
+	}
+	fmt.Fprintf(w, "%d experiment(s), jobs=%d, wall %.0f ms (sequential %.0f ms), cache %d hit / %d miss\n",
+		len(env.Experiments), env.Jobs, env.WallMS, env.SequentialMS,
+		env.Cache.Hits, env.Cache.Misses)
+	var failed []string
+	for _, e := range env.Experiments {
+		fmt.Fprintf(w, "  %-12s %-6s %8.1f ms  %10d steps  %d hit / %d miss\n",
+			e.ID, e.Status, e.WallMS, e.SolveSteps, e.CacheHits, e.CacheMisses)
+		if e.Status != runner.StatusOK {
+			failed = append(failed, fmt.Sprintf("%s: %s", e.ID, e.Error))
+		}
+	}
+	if env.Failed != len(failed) {
+		return fmt.Errorf("benchjson: envelope claims %d failure(s) but lists %d", env.Failed, len(failed))
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("benchjson: %d experiment(s) not ok:\n  %s", len(failed), strings.Join(failed, "\n  "))
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	experimentsEnv := flag.String("experiments", "", "validate an experiment result envelope (cmd/experiments -json) instead of converting bench output")
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
@@ -106,6 +150,19 @@ func main() {
 		}
 		defer f.Close()
 		w = f
+	}
+	if *experimentsEnv != "" {
+		f, err := os.Open(*experimentsEnv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := checkEnvelope(f, w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := convert(os.Stdin, w); err != nil {
 		fmt.Fprintln(os.Stderr, err)

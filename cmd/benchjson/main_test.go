@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"congestlb/internal/runner"
 )
 
 const sample = `goos: linux
@@ -58,5 +60,77 @@ func TestConvertEmptyInput(t *testing.T) {
 	var buf bytes.Buffer
 	if err := convert(strings.NewReader("PASS\n"), &buf); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+func envelopeJSON(t *testing.T, env runner.Envelope) string {
+	t.Helper()
+	data, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestCheckEnvelopeOK(t *testing.T) {
+	env := runner.Envelope{
+		Schema: runner.Schema,
+		Jobs:   4,
+		WallMS: 120,
+		OK:     2,
+		Experiments: []runner.ExperimentResult{
+			{ID: "figure1", Status: runner.StatusOK, WallMS: 60, CacheMisses: 3},
+			{ID: "codes", Status: runner.StatusOK, WallMS: 60},
+		},
+	}
+	var buf bytes.Buffer
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figure1", "codes", "jobs=4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckEnvelopeFailsOnNonOK(t *testing.T) {
+	env := runner.Envelope{
+		Schema: runner.Schema,
+		OK:     1,
+		Failed: 1,
+		Experiments: []runner.ExperimentResult{
+			{ID: "figure1", Status: runner.StatusOK},
+			{ID: "theorem5", Status: runner.StatusFailed, Error: "accounting violated"},
+		},
+	}
+	var buf bytes.Buffer
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf)
+	if err == nil {
+		t.Fatal("failed experiment accepted")
+	}
+	if !strings.Contains(err.Error(), "theorem5: accounting violated") {
+		t.Fatalf("error does not name the failure: %v", err)
+	}
+}
+
+func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := checkEnvelope(strings.NewReader("not json"), &buf); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	// An envelope whose summary counters disagree with its records is
+	// corrupt even if every listed experiment looks ok.
+	env := runner.Envelope{
+		Schema:      runner.Schema,
+		Failed:      1,
+		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
+	}
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf); err == nil {
+		t.Fatal("inconsistent envelope accepted")
 	}
 }

@@ -2,13 +2,21 @@
 //
 // Usage:
 //
-//	experiments [-id figure1,theorem5] [-o report.md] [-list]
+//	experiments [-id figure1,theorem5] [-jobs 4] [-o report.md] [-json out.json] [-list]
 //
 // Without -id it runs every registered experiment and emits a combined
 // markdown report (the source of EXPERIMENTS.md's measured columns).
+// Experiments execute as shardable jobs over a worker pool (-jobs, default
+// GOMAXPROCS); the markdown report is byte-identical whatever the pool
+// size. -json additionally writes the structured result envelope — one
+// record per experiment with status, wall time, solver steps and solve
+// cache statistics — which cmd/benchjson -experiments validates and CI
+// archives.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -16,6 +24,7 @@ import (
 	"strings"
 
 	"congestlb/internal/experiments"
+	"congestlb/internal/runner"
 )
 
 func main() {
@@ -29,6 +38,8 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	ids := fs.String("id", "", "comma-separated experiment IDs (default: all)")
 	out := fs.String("o", "", "write the report to this file instead of stdout")
+	jsonOut := fs.String("json", "", "write the JSON result envelope to this file")
+	jobs := fs.Int("jobs", 0, "experiment worker-pool size (default GOMAXPROCS)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,21 +62,39 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	var selected []string
+	if *ids != "" {
+		for _, id := range strings.Split(*ids, ",") {
+			selected = append(selected, strings.TrimSpace(id))
+		}
+	}
+	exps, err := experiments.Select(selected)
+	if err != nil {
+		return err
+	}
 	if *ids == "" {
 		fmt.Fprintf(w, "# Regenerated results — Beyond Alice and Bob (PODC 2020)\n\n")
-		return experiments.RunAll(w)
 	}
-	for _, id := range strings.Split(*ids, ",") {
-		id = strings.TrimSpace(id)
-		e, ok := experiments.ByID(id)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q (use -list)", id)
-		}
-		fmt.Fprintf(w, "## %s — %s\n\n*Reproduces: %s*\n\n", e.ID, e.Title, e.PaperRef)
-		if err := e.Run(w); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
-		}
-		fmt.Fprintln(w)
+
+	env, runErr := runner.Run(exps, runner.Options{Jobs: *jobs}, w)
+	if *jsonOut != "" {
+		// Joined with runErr: a broken -json path must not hide which
+		// experiments failed (or vice versa).
+		runErr = errors.Join(runErr, writeEnvelope(*jsonOut, env))
 	}
-	return nil
+	return runErr
+}
+
+func writeEnvelope(path string, env runner.Envelope) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(env); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"congestlb/internal/runner"
 )
 
 func TestExperimentsList(t *testing.T) {
@@ -39,6 +42,46 @@ func TestExperimentsMultiple(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "## figure2") || !strings.Contains(out, "## codes") {
 		t.Fatalf("multi-id output unexpected:\n%.300s", out)
+	}
+}
+
+func TestExperimentsShardedMatchesSequential(t *testing.T) {
+	ids := "figure1,codes,cutsize,twoparty"
+	var sequential bytes.Buffer
+	if err := run([]string{"-id", ids, "-jobs", "1"}, &sequential); err != nil {
+		t.Fatal(err)
+	}
+	var sharded bytes.Buffer
+	if err := run([]string{"-id", ids, "-jobs", "4"}, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sequential.Bytes(), sharded.Bytes()) {
+		t.Fatal("-jobs 4 markdown differs from -jobs 1")
+	}
+}
+
+func TestExperimentsJSONEnvelope(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "env.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-id", "figure1,codes", "-jobs", "2", "-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env runner.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v", err)
+	}
+	if env.Schema != runner.Schema {
+		t.Fatalf("schema %q", env.Schema)
+	}
+	if env.OK != 2 || env.Failed != 0 || len(env.Experiments) != 2 {
+		t.Fatalf("envelope counts: %+v", env)
+	}
+	if env.Experiments[0].ID != "figure1" || env.Experiments[1].ID != "codes" {
+		t.Fatalf("envelope order: %s, %s", env.Experiments[0].ID, env.Experiments[1].ID)
 	}
 }
 

@@ -63,6 +63,7 @@ import (
 	"congestlb/internal/graphs"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
 // Graph-side types.
@@ -199,12 +200,15 @@ func RandomPromiseInstance(k, t int, density, disjointBias float64, rng *rand.Ra
 }
 
 // ExactMaxIS solves an instance exactly using its natural clique cover.
+// Repeated solves of content-identical instances are served from the
+// shared content-addressed solve cache.
 func ExactMaxIS(inst Instance) (Solution, error) {
-	return mis.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+	return cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 }
 
-// ExactMaxISGraph solves an arbitrary graph exactly (greedy clique cover).
-func ExactMaxISGraph(g *Graph) (Solution, error) { return mis.Exact(g, mis.Options{}) }
+// ExactMaxISGraph solves an arbitrary graph exactly (greedy clique cover),
+// through the shared content-addressed solve cache.
+func ExactMaxISGraph(g *Graph) (Solution, error) { return cache.Exact(g, mis.Options{}) }
 
 // VerifyIndependent checks a set is independent and returns its weight.
 func VerifyIndependent(g *Graph, set []NodeID) (int64, error) { return mis.Verify(g, set) }

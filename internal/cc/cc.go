@@ -86,9 +86,18 @@ type Blackboard struct {
 	labels  []string
 	payload []byte
 	bits    int64
+	// hwPayload is the payload high-water mark recorded by Reset. Because
+	// Reset must drop (not truncate) the payload buffer — transcript views
+	// alias it — the next use would regrow it from nothing by doubling;
+	// instead the first write after a Reset allocates the buffer at the
+	// previous transcript's full size in one step.
+	hwPayload int
 }
 
 func (b *Blackboard) append(player, labelIdx int32, tag Tag, data []byte, bits int64) {
+	if b.payload == nil && b.hwPayload > 0 {
+		b.payload = make([]byte, 0, b.hwPayload)
+	}
 	off := int32(len(b.payload))
 	b.payload = append(b.payload, data...)
 	b.recs = append(b.recs, rec{
@@ -195,14 +204,40 @@ func (b *Blackboard) Entries() []Entry {
 // Len returns the number of entries written.
 func (b *Blackboard) Len() int { return len(b.recs) }
 
-// Reset clears the blackboard for reuse.
+// Reset clears the blackboard for reuse, remembering the transcript's size
+// as a high-water mark that pre-sizes the next use.
 func (b *Blackboard) Reset() {
+	if len(b.payload) > b.hwPayload {
+		b.hwPayload = len(b.payload)
+	}
 	b.recs = b.recs[:0]
 	b.labels = b.labels[:0]
 	b.bits = 0
 	// Drop (don't truncate) the payload buffer: transcript views handed
 	// out by Entries alias it and must survive the reuse.
 	b.payload = nil
+}
+
+// PayloadBytes returns the current payload buffer length — the transcript
+// volume in bytes (bits are charged separately and may be fewer).
+func (b *Blackboard) PayloadBytes() int { return len(b.payload) }
+
+// Grow pre-sizes the blackboard for a transcript of the given entry count
+// and payload volume, so a simulation whose scale is known up front (e.g.
+// from the previous run's high-water mark) appends without any
+// grow-and-copy. Growing the payload is only safe while the transcript is
+// empty — handed-out entry views alias a non-empty buffer — so a non-empty
+// blackboard only grows its record table.
+func (b *Blackboard) Grow(entries, payloadBytes int) {
+	if entries > cap(b.recs) {
+		grown := make([]rec, len(b.recs), entries)
+		copy(grown, b.recs)
+		b.recs = grown
+	}
+	if len(b.payload) == 0 && payloadBytes > cap(b.payload) {
+		b.payload = nil // drop the undersized block before re-allocating
+		b.payload = make([]byte, 0, payloadBytes)
+	}
 }
 
 // ReadVector decodes entry index idx back into a bit vector of length k.

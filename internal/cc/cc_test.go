@@ -285,3 +285,66 @@ func BenchmarkFirstPlayerProbe(b *testing.B) {
 		}
 	}
 }
+
+func TestBlackboardGrowPreSizes(t *testing.T) {
+	var bb Blackboard
+	bb.Grow(16, 1024)
+	if err := bb.Write(0, "x", []byte{1, 2, 3}, 24); err != nil {
+		t.Fatal(err)
+	}
+	if bb.PayloadBytes() != 3 || bb.Len() != 1 || bb.Bits() != 24 {
+		t.Fatalf("accounting after Grow: payload=%d len=%d bits=%d", bb.PayloadBytes(), bb.Len(), bb.Bits())
+	}
+	// Growing a non-empty blackboard must not move the payload buffer:
+	// handed-out entry views alias it.
+	view := bb.Entries()[0]
+	bb.Grow(1024, 1<<20)
+	if &view.Data[0] != &bb.Entries()[0].Data[0] {
+		t.Fatal("Grow moved a live payload buffer")
+	}
+}
+
+func TestBlackboardResetHighWaterReuse(t *testing.T) {
+	var bb Blackboard
+	payload := make([]byte, 100)
+	for i := 0; i < 50; i++ {
+		if err := bb.Write(0, "w", payload, 800); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := bb.PayloadBytes()
+	bb.Reset()
+	if bb.Len() != 0 || bb.Bits() != 0 || bb.PayloadBytes() != 0 {
+		t.Fatalf("reset left state: len=%d bits=%d payload=%d", bb.Len(), bb.Bits(), bb.PayloadBytes())
+	}
+	// The first write after Reset must land in a buffer pre-sized to the
+	// previous transcript's full volume — no append-doubling on the way
+	// back to steady state.
+	if err := bb.Write(0, "w", payload, 800); err != nil {
+		t.Fatal(err)
+	}
+	if got := cap(bb.payload); got < grown {
+		t.Fatalf("post-reset payload capacity %d below high-water %d", got, grown)
+	}
+	// And the transcript content is fresh, not stale.
+	if bb.Len() != 1 {
+		t.Fatalf("len after reset+write = %d", bb.Len())
+	}
+}
+
+func TestBlackboardResetKeepsOldViewsValid(t *testing.T) {
+	var bb Blackboard
+	if err := bb.Write(0, "keep", []byte{42}, 8); err != nil {
+		t.Fatal(err)
+	}
+	view := bb.Entries()[0]
+	bb.Reset()
+	for i := 0; i < 8; i++ {
+		if err := bb.Write(0, "new", []byte{byte(i)}, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if view.Data[0] != 42 {
+		t.Fatalf("pre-reset view corrupted: %v", view.Data)
+	}
+}

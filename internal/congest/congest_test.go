@@ -21,6 +21,8 @@ type floodMin struct {
 func (f *floodMin) Init(info NodeInfo) {
 	f.info = info
 	f.min = info.ID
+	f.stable = 0
+	f.done = false
 }
 
 func (f *floodMin) Round(round int, inbox []Message) []Message {
@@ -372,5 +374,104 @@ func BenchmarkFloodRing256(b *testing.B) {
 		if _, err := net.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// star builds a hub-and-spoke graph: node 0 adjacent to all others.
+func star(t *testing.T, n int) *graphs.Graph {
+	t.Helper()
+	g := graphs.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddNode(fmt.Sprintf("s%d", i), 1)
+	}
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+func TestSplitByDegreeCoversContiguously(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		g       *graphs.Graph
+		workers int
+	}{
+		{"ring/4", ring(t, 64), 4},
+		{"ring/1", ring(t, 64), 1},
+		{"ring/n", ring(t, 8), 8},
+		{"star/4", star(t, 65), 4},
+		{"star/2", star(t, 3), 2},
+		{"edgeless/3", func() *graphs.Graph {
+			g := graphs.New(9)
+			for i := 0; i < 9; i++ {
+				g.MustAddNode(fmt.Sprintf("i%d", i), 1)
+			}
+			return g
+		}(), 3},
+	} {
+		bounds := splitByDegree(tc.g, tc.workers)
+		if bounds[0] != 0 || bounds[len(bounds)-1] != tc.g.N() {
+			t.Fatalf("%s: bounds %v do not cover [0,%d)", tc.name, bounds, tc.g.N())
+		}
+		if len(bounds)-1 > tc.workers {
+			t.Fatalf("%s: %d ranges for %d workers", tc.name, len(bounds)-1, tc.workers)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("%s: empty or decreasing range in %v", tc.name, bounds)
+			}
+		}
+	}
+}
+
+// TestSplitByDegreeBalancesSkew is the satellite property: on a star, the
+// hub's degree dominates, so degree-weighted splitting must give the hub's
+// worker far fewer nodes than an equal-count split would.
+func TestSplitByDegreeBalancesSkew(t *testing.T) {
+	n, workers := 1025, 4
+	g := star(t, n)
+	bounds := splitByDegree(g, workers)
+	hubRange := bounds[1] - bounds[0]
+	equalCount := (n + workers - 1) / workers
+	if hubRange >= equalCount/4 {
+		t.Fatalf("hub range holds %d nodes; equal-count chunking would hold %d — no degree balancing",
+			hubRange, equalCount)
+	}
+	// Cumulative degree+1 per range should be near total/workers for every
+	// range (within a factor of two).
+	total := 0
+	for u := 0; u < n; u++ {
+		total += g.Degree(u) + 1
+	}
+	fair := total / workers
+	for w := 0; w+1 < len(bounds); w++ {
+		load := 0
+		for u := bounds[w]; u < bounds[w+1]; u++ {
+			load += g.Degree(u) + 1
+		}
+		if load > 2*fair+n { // hub alone may exceed fair share; allow one node's slack
+			t.Fatalf("range %d load %d far above fair share %d (bounds %v)", w, load, fair, bounds)
+		}
+	}
+}
+
+// TestRunStateRetainedAcrossRuns re-runs one Network and requires identical
+// results — the retained inbox/outbox/arena state must be invisible.
+func TestRunStateRetainedAcrossRuns(t *testing.T) {
+	g := ring(t, 48)
+	net, err := NewNetwork(g, floodPrograms(48), Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("re-run diverged:\nfirst  %+v\nsecond %+v", first, second)
 	}
 }

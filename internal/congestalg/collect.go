@@ -8,6 +8,7 @@ import (
 	"congestlb/internal/congest"
 	"congestlb/internal/graphs"
 	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
 // CollectSolve is the textbook universal CONGEST algorithm behind the
@@ -307,7 +308,7 @@ func (cs *CollectSolve) solveAtRoot() {
 			return
 		}
 	}
-	sol, err := mis.Exact(sub, mis.Options{})
+	sol, err := cache.Exact(sub, mis.Options{})
 	if err != nil {
 		cs.failed = fmt.Errorf("congestalg: collect at %d: solve: %w", cs.info.ID, err)
 		return

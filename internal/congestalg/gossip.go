@@ -7,6 +7,7 @@ import (
 	"congestlb/internal/congest"
 	"congestlb/internal/graphs"
 	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
 // GossipExact learns the entire graph at every node by pipelined gossip and
@@ -184,10 +185,13 @@ func (g *GossipExact) complete() bool {
 }
 
 // solve runs the exact MaxIS solver on the reconstructed graph. Every node
-// performs the identical deterministic computation, so all outputs agree.
+// performs the identical deterministic computation, so all outputs agree —
+// which is exactly why the solve goes through the content-addressed cache:
+// all n nodes reconstruct the same graph, so one node pays for the
+// branch-and-bound and the other n-1 hit the cached solution.
 func (g *GossipExact) solve() {
 	g.solved = true
-	sol, err := mis.Exact(g.rebuilt, mis.Options{})
+	sol, err := cache.Exact(g.rebuilt, mis.Options{})
 	if err != nil {
 		g.fail(fmt.Errorf("gossip at node %d: local solve: %w", g.info.ID, err))
 		return

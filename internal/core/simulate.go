@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"congestlb/internal/bitvec"
 	"congestlb/internal/cc"
 	"congestlb/internal/congest"
 	"congestlb/internal/graphs"
+	"congestlb/internal/mis/cache"
 )
 
 // SimulationReport is the outcome of one run of the Theorem 5 simulation:
@@ -33,6 +35,14 @@ type SimulationReport struct {
 	CongestTotalBits int64
 	// AccountingBound is Rounds·CutSize·Bandwidth.
 	AccountingBound int64
+	// SolveCacheHits and SolveCacheMisses are the shared exact-solve
+	// cache's counter deltas observed across this run: in a GossipExact
+	// run the n per-node solves of the identical learned graph show up as
+	// one miss and n-1 hits. The deltas are exact for a sequential caller;
+	// when several simulations run concurrently (the sharded experiment
+	// runner) they are attributed approximately, since the counters are
+	// process-global.
+	SolveCacheHits, SolveCacheMisses uint64
 	// Opt is the MaxIS value extracted from the algorithm's outputs.
 	Opt int64
 	// Decision is the protocol's answer to promise pairwise disjointness,
@@ -50,6 +60,21 @@ func (r SimulationReport) AccountingHolds() bool {
 
 // Correct reports whether the induced protocol answered correctly.
 func (r SimulationReport) Correct() bool { return r.Decision == r.Truth }
+
+// boardHWEntries/boardHWPayload remember the largest blackboard transcript
+// (entry count / payload bytes) any Simulate call in this process
+// produced; the next call pre-sizes its fresh blackboard accordingly.
+var boardHWEntries, boardHWPayload atomic.Int64
+
+// storeMax raises v to at least x.
+func storeMax(v *atomic.Int64, x int64) {
+	for {
+		cur := v.Load()
+		if x <= cur || v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
 
 // ProgramFactory builds the CONGEST node programs that will run on a built
 // instance (one program per node).
@@ -78,7 +103,12 @@ func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptE
 	}
 	g, part := inst.Graph, inst.Partition
 
+	// Pre-size the transcript from the previous simulation's high-water
+	// mark: reduction runs at one scale are typically repeated (benchmark
+	// iterations, experiment sweeps), and the blackboard otherwise regrows
+	// from nothing by append-doubling on every run.
 	var board cc.Blackboard
+	board.Grow(int(boardHWEntries.Load()), int(boardHWPayload.Load()))
 	var writes int64
 	userHook := cfg.Hook
 	cfg.Hook = func(round int, msg congest.Message) error {
@@ -105,10 +135,12 @@ func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptE
 	if err != nil {
 		return SimulationReport{}, fmt.Errorf("core: network: %w", err)
 	}
+	cacheBefore := cache.Shared().Stats()
 	result, err := net.Run()
 	if err != nil {
 		return SimulationReport{}, fmt.Errorf("core: run: %w", err)
 	}
+	cacheAfter := cache.Shared().Stats()
 	opt, err := extract(result, inst)
 	if err != nil {
 		return SimulationReport{}, fmt.Errorf("core: extract: %w", err)
@@ -117,6 +149,9 @@ func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptE
 	if err != nil {
 		return SimulationReport{}, err
 	}
+
+	storeMax(&boardHWEntries, int64(board.Len()))
+	storeMax(&boardHWPayload, int64(board.PayloadBytes()))
 
 	cut := part.CutSize(g)
 	report := SimulationReport{
@@ -130,6 +165,8 @@ func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptE
 		BlackboardWrites: writes,
 		CongestTotalBits: result.Stats.TotalBits,
 		AccountingBound:  int64(result.Stats.Rounds) * int64(cut) * net.Bandwidth(),
+		SolveCacheHits:   cacheAfter.Hits - cacheBefore.Hits,
+		SolveCacheMisses: cacheAfter.Misses - cacheBefore.Misses,
 		Opt:              opt,
 		Decision:         decision,
 		Truth:            truth,

@@ -6,6 +6,7 @@ import (
 	"congestlb/internal/cc"
 	"congestlb/internal/graphs"
 	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
 // SplitBestReport is the outcome of the Section 1 limitation protocol.
@@ -54,7 +55,7 @@ func SplitBest(inst Instance) (SplitBestReport, error) {
 		if err != nil {
 			return SplitBestReport{}, fmt.Errorf("core: player %d subgraph: %w", i, err)
 		}
-		sol, err := mis.Exact(sub, mis.Options{CliqueCover: coverWithin(inst, nodes)})
+		sol, err := cache.Exact(sub, mis.Options{CliqueCover: coverWithin(inst, nodes)})
 		if err != nil {
 			return SplitBestReport{}, fmt.Errorf("core: player %d local solve: %w", i, err)
 		}
@@ -74,7 +75,7 @@ func SplitBest(inst Instance) (SplitBestReport, error) {
 			best = v
 		}
 	}
-	globalSol, err := mis.Exact(g, mis.Options{CliqueCover: inst.CliqueCover})
+	globalSol, err := cache.Exact(g, mis.Options{CliqueCover: inst.CliqueCover})
 	if err != nil {
 		return SplitBestReport{}, fmt.Errorf("core: global solve: %w", err)
 	}

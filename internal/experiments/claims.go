@@ -10,6 +10,7 @@ import (
 	"congestlb/internal/core"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
 // The claim/lemma experiments verify the combinatorial heart of the paper
@@ -51,7 +52,7 @@ func init() {
 
 // exactInstanceOpt solves an instance with its natural cover.
 func exactInstanceOpt(inst core.Instance) (int64, error) {
-	sol, err := mis.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+	sol, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 	if err != nil {
 		return 0, err
 	}
@@ -120,7 +121,7 @@ func runProperties(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			sol, err := mis.Exact(built.Graph, mis.Options{CliqueCover: built.CliqueCover})
+			sol, err := cache.Exact(built.Graph, mis.Options{CliqueCover: built.CliqueCover})
 			if err != nil {
 				return err
 			}

@@ -11,6 +11,7 @@ import (
 	"congestlb/internal/core"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
 // Context experiments: the Section 1 limitation argument, the Remark 1
@@ -110,11 +111,11 @@ func runRemark1(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		weighted, err := mis.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+		weighted, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 		if err != nil {
 			return err
 		}
-		unweighted, err := mis.Exact(res.Graph, mis.Options{CliqueCover: lbgraph.BlowupCover(inst.CliqueCover, res)})
+		unweighted, err := cache.Exact(res.Graph, mis.Options{CliqueCover: lbgraph.BlowupCover(inst.CliqueCover, res)})
 		if err != nil {
 			return err
 		}
@@ -168,7 +169,7 @@ func runUpperBounds(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optSol, err := mis.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+	optSol, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 	if err != nil {
 		return err
 	}

@@ -56,6 +56,29 @@ func ByID(id string) (Experiment, bool) {
 	return e, ok
 }
 
+// Select resolves a list of experiment IDs, preserving the given order.
+// Unknown IDs are reported in one error. An empty list selects everything
+// (in ID order), so callers can pass a user's -id flag through directly.
+func Select(ids []string) ([]Experiment, error) {
+	if len(ids) == 0 {
+		return All(), nil
+	}
+	out := make([]Experiment, 0, len(ids))
+	var unknown []string
+	for _, id := range ids {
+		e, ok := registry[id]
+		if !ok {
+			unknown = append(unknown, id)
+			continue
+		}
+		out = append(out, e)
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("unknown experiment(s) %s (use -list)", strings.Join(unknown, ", "))
+	}
+	return out, nil
+}
+
 // IDs returns the sorted experiment identifiers.
 func IDs() []string {
 	all := All()

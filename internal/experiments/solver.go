@@ -8,6 +8,7 @@ import (
 	"congestlb/internal/bitvec"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
 // The solver experiment is an ablation of our own verification engine: the
@@ -57,11 +58,11 @@ func runSolver(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			natural, err := mis.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+			natural, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 			if err != nil {
 				return err
 			}
-			greedy, err := mis.Exact(inst.Graph, mis.Options{})
+			greedy, err := cache.Exact(inst.Graph, mis.Options{})
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,291 @@
+// Package cache memoises exact MaxIS solves behind a content-addressed
+// key. It exists for one dominant workload: in GossipExact-style CONGEST
+// runs every one of the n nodes reconstructs the *identical* network graph
+// and branch-and-bounds it locally, so n-1 of the n solves are pure waste.
+// Keying the solve by a canonical hash of the graph's content — adjacency
+// structure, node weights, clique cover and step budget — collapses them
+// to one branch-and-bound plus n-1 cache hits, independent of how each
+// caller happened to build its copy of the graph.
+//
+// The cache is LRU-bounded, safe for concurrent use, and deduplicates
+// in-flight solves: concurrent callers with the same key block on the one
+// solve in progress instead of racing their own. Hit/miss/eviction and
+// branch-and-bound step counters are exposed for the experiment runner's
+// JSON result envelope and for tests asserting the one-solve-per-distinct-
+// graph property.
+//
+// A process-wide Shared instance backs the package-level Exact function,
+// which the CONGEST programs and the experiment suite call in place of
+// mis.Exact. SetEnabled turns the shared cache off (tests use this to
+// compare cached and uncached runs); because the underlying solver is
+// deterministic, cached and fresh results are identical, so enabling the
+// cache never changes any report.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"congestlb/internal/graphs"
+	"congestlb/internal/mis"
+)
+
+// Key is the canonical content hash of one solve: graph structure, node
+// weights, clique cover and step budget.
+type Key [sha256.Size]byte
+
+// DefaultCapacity is the entry bound of the shared cache. Solutions are
+// small (a node-ID slice plus counters), so a few hundred distinct graphs
+// fit comfortably; the dominant workload needs exactly one entry live at a
+// time.
+const DefaultCapacity = 256
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a cached (or in-flight) solve.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that ran a fresh branch-and-bound.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the number of entries currently cached.
+	Entries int `json:"entries"`
+	// StepsSolved sums the branch-and-bound steps of all misses — the work
+	// actually performed.
+	StepsSolved int64 `json:"steps_solved"`
+	// StepsSaved sums the steps of the cached solutions returned on hits —
+	// the work the cache avoided.
+	StepsSaved int64 `json:"steps_saved"`
+}
+
+// entry is one cached (or in-flight) solve. ready is closed once sol/err
+// are final; done flips under the cache lock at the same moment, so the
+// eviction scan can skip in-flight entries without touching the channel.
+type entry struct {
+	key   Key
+	sol   mis.Solution
+	err   error
+	done  bool
+	ready chan struct{}
+}
+
+// Cache is a content-addressed, LRU-bounded memoisation layer over
+// mis.Exact. The zero value is not usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	index    map[Key]*list.Element
+	lru      *list.List // front = most recently used; values are *entry
+	stats    Stats
+}
+
+// New returns an empty cache bounded to the given number of entries
+// (DefaultCapacity if capacity is not positive).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		index:    make(map[Key]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Exact returns the maximum-weight independent set of g under opts,
+// serving repeated solves of content-identical inputs from the cache. The
+// first caller for a key runs mis.Exact; concurrent callers with the same
+// key wait for that solve instead of duplicating it. Errors are not
+// cached: a failed solve is retried by the next caller. Solves whose
+// clique cover cannot be canonicalised (malformed covers mis.Exact will
+// reject anyway) bypass the cache entirely.
+func (c *Cache) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
+	key, ok := KeyOf(g, opts)
+	if !ok {
+		return mis.Exact(g, opts)
+	}
+
+	c.mu.Lock()
+	if el, found := c.index[key]; found {
+		e := el.Value.(*entry)
+		c.lru.MoveToFront(el)
+		c.stats.Hits++
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return clone(e.sol), e.err
+		}
+		c.mu.Lock()
+		c.stats.StepsSaved += e.sol.Steps
+		c.mu.Unlock()
+		return clone(e.sol), nil
+	}
+	e := &entry{key: key, ready: make(chan struct{})}
+	el := c.lru.PushFront(e)
+	c.index[key] = el
+	c.stats.Misses++
+	c.evictLocked()
+	c.mu.Unlock()
+
+	sol, err := mis.Exact(g, opts)
+
+	c.mu.Lock()
+	e.sol, e.err, e.done = sol, err, true
+	if err != nil {
+		// Do not cache failures: drop the entry so later callers retry
+		// (waiters already holding e still observe the error once).
+		if cur, present := c.index[key]; present && cur == el {
+			c.lru.Remove(el)
+			delete(c.index, key)
+		}
+	} else {
+		c.stats.StepsSolved += sol.Steps
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return clone(sol), err
+}
+
+// evictLocked trims the LRU to capacity, skipping in-flight entries (they
+// are always near the front anyway). Callers must hold c.mu.
+func (c *Cache) evictLocked() {
+	for c.lru.Len() > c.capacity {
+		el := c.lru.Back()
+		for el != nil && !el.Value.(*entry).done {
+			el = el.Prev()
+		}
+		if el == nil {
+			return // everything in flight; over-capacity resolves later
+		}
+		e := el.Value.(*entry)
+		c.lru.Remove(el)
+		delete(c.index, e.key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}
+
+// Reset drops every entry and zeroes the counters. In-flight solves
+// complete normally but are not re-inserted observable-y: their entries
+// are simply no longer indexed.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.index = make(map[Key]*list.Element, c.capacity)
+	c.lru = list.New()
+	c.stats = Stats{}
+}
+
+// clone returns a Solution whose Set is an independent copy, so callers
+// can never corrupt the cached witness (or each other's).
+func clone(sol mis.Solution) mis.Solution {
+	out := sol
+	if sol.Set != nil {
+		out.Set = append([]graphs.NodeID(nil), sol.Set...)
+	}
+	return out
+}
+
+// KeyOf computes the canonical content key of a solve. The hash covers the
+// node count, per-node weights, the sorted edge list, the clique cover as
+// a canonical partition (clique ids renumbered by first appearance in node
+// order, so the same partition hashes identically however its parts are
+// ordered) and the step budget. It depends only on the graph's final
+// content — never on labels or on the order nodes and edges were inserted.
+// ok is false when the cover is malformed (a node missing, repeated or out
+// of range); such solves are uncacheable and fall through to mis.Exact,
+// which reports the precise validation error.
+func KeyOf(g *graphs.Graph, opts mis.Options) (Key, bool) {
+	n := g.N()
+	buf := make([]byte, 0, 16+8*n+8*g.M()+4*n)
+	buf = append(buf, 'm', 'i', 's', 'v', '1')
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(n))
+	for v := 0; v < n; v++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(g.Weight(v)))
+	}
+	for u := 0; u < n; u++ {
+		g.ForEachNeighbor(u, func(v graphs.NodeID) {
+			if u < v {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(u))
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+			}
+		})
+	}
+	if opts.CliqueCover == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		id := make([]int32, n)
+		for i := range id {
+			id[i] = -1
+		}
+		for ci, clique := range opts.CliqueCover {
+			for _, v := range clique {
+				if v < 0 || v >= n || id[v] != -1 {
+					return Key{}, false
+				}
+				id[v] = int32(ci)
+			}
+		}
+		// Renumber clique ids by first appearance so the key depends on
+		// the partition, not on the ordering of its parts.
+		renum := make([]int32, len(opts.CliqueCover))
+		for i := range renum {
+			renum[i] = -1
+		}
+		var next int32
+		for v := 0; v < n; v++ {
+			if id[v] == -1 {
+				return Key{}, false
+			}
+			if renum[id[v]] == -1 {
+				renum[id[v]] = next
+				next++
+			}
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(renum[id[v]]))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(opts.MaxSteps))
+	return sha256.Sum256(buf), true
+}
+
+// shared is the process-wide cache behind the package-level Exact.
+var shared = New(DefaultCapacity)
+
+// enabled gates the shared cache; non-zero means on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Shared returns the process-wide cache instance.
+func Shared() *Cache { return shared }
+
+// SetEnabled switches the shared-cache fast path on or off and reports the
+// previous setting. Disabling does not clear the cache; call
+// Shared().Reset() for that. Intended for tests comparing cached and
+// uncached runs.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether the shared-cache fast path is on.
+func Enabled() bool { return enabled.Load() }
+
+// Exact is the drop-in replacement for mis.Exact used by the CONGEST
+// programs and the experiment suite: it routes through the shared cache
+// when enabled and falls back to a direct solve otherwise.
+func Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
+	if !enabled.Load() {
+		return mis.Exact(g, opts)
+	}
+	return shared.Exact(g, opts)
+}

@@ -33,6 +33,10 @@ const defaultMaxSteps = 50_000_000
 // a clique-cover upper bound: any independent set contains at most one node
 // per clique, so Σ_cliques max_{v ∈ P ∩ C} w(v) bounds what remains of the
 // candidate set P.
+//
+// When the step budget runs out, Exact returns ErrBudgetExceeded together
+// with the best incumbent found so far (Optimal false) — a valid, possibly
+// sub-optimal witness budget-capped callers can still use.
 func Exact(g *graphs.Graph, opts Options) (Solution, error) {
 	n := g.N()
 	if n == 0 {
@@ -86,17 +90,25 @@ func Exact(g *graphs.Graph, opts Options) (Solution, error) {
 		root[v/64] |= 1 << (uint(v) % 64)
 	}
 	if err := s.search(root, 0, 0); err != nil {
-		return Solution{}, err
+		// Budget exhausted: the incumbent (seeded with the greedy solution
+		// and only ever improved) is still a valid independent set, so
+		// return it with Optimal unset alongside the error. Budget-capped
+		// callers get a usable lower-bound witness instead of nothing.
+		return s.solution(false), err
 	}
+	return s.solution(true), nil
+}
 
+// solution materialises the solver's incumbent as a Solution.
+func (s *exactSolver) solution(optimal bool) Solution {
 	set := make([]graphs.NodeID, 0)
-	for v := 0; v < n; v++ {
+	for v := 0; v < s.n; v++ {
 		if s.bestSet[v/64]&(1<<(uint(v)%64)) != 0 {
 			set = append(set, v)
 		}
 	}
 	sort.Ints(set)
-	return Solution{Set: set, Weight: s.best, Optimal: true, Steps: s.steps}, nil
+	return Solution{Set: set, Weight: s.best, Optimal: optimal, Steps: s.steps}
 }
 
 type exactSolver struct {

@@ -233,6 +233,32 @@ func TestExactBudget(t *testing.T) {
 	}
 }
 
+func TestExactBudgetReturnsIncumbent(t *testing.T) {
+	g := randomGraph(40, 0.1, 5, rand.New(rand.NewSource(5)))
+	sol, err := Exact(g, Options{MaxSteps: 3})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("error = %v, want ErrBudgetExceeded", err)
+	}
+	if sol.Optimal {
+		t.Fatal("budget-capped solution claims optimality")
+	}
+	if len(sol.Set) == 0 {
+		t.Fatal("budget-capped solution lost the incumbent set")
+	}
+	weight, err := Verify(g, sol.Set)
+	if err != nil {
+		t.Fatalf("incumbent is not independent: %v", err)
+	}
+	if weight != sol.Weight {
+		t.Fatalf("incumbent weight %d, reported %d", weight, sol.Weight)
+	}
+	// The incumbent is seeded with the greedy solution, so it is at least
+	// as good as greedy even when the budget dies immediately.
+	if greedy := Greedy(g, GreedyByRatio); sol.Weight < greedy.Weight {
+		t.Fatalf("incumbent weight %d below greedy seed %d", sol.Weight, greedy.Weight)
+	}
+}
+
 func TestExactEmptyAndSingleton(t *testing.T) {
 	sol, err := Exact(graphs.New(0), Options{})
 	if err != nil {

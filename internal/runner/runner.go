@@ -1,0 +1,215 @@
+// Package runner executes registered experiments as shardable jobs over a
+// persistent worker pool, turning the experiment suite from a sequential
+// batch script into a concurrent engine with machine-readable results.
+//
+// Two properties drive the design:
+//
+//   - Markdown reports are byte-identical to a sequential run. Each job
+//     streams its experiment's markdown into a private buffer; the main
+//     goroutine flushes the buffers in experiment order, each as soon as
+//     its job finishes. With one worker this degenerates to exactly the
+//     sequential pipeline; with many, only wall-clock changes.
+//   - Every run also produces a structured JSON result envelope — one
+//     record per experiment (status, wall time, exact-solver work, solve
+//     cache traffic) plus run-level totals — so CI and tooling consume
+//     results without parsing markdown. cmd/benchjson validates the
+//     envelope; .github/workflows/ci.yml archives it.
+//
+// Experiments run concurrently, so their solver work meets in the shared
+// content-addressed solve cache (internal/mis/cache): a graph solved by
+// one job is a cache hit for every other job that builds the same graph.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"congestlb/internal/experiments"
+	"congestlb/internal/mis/cache"
+)
+
+// Schema identifies the envelope format; bump when fields change meaning.
+const Schema = "congestlb/experiment-envelope/v1"
+
+// Experiment statuses in the envelope.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// Options configures a Run.
+type Options struct {
+	// Jobs is the worker-pool size; values < 1 select GOMAXPROCS. The
+	// pool is clamped to the number of experiments.
+	Jobs int
+}
+
+// ExperimentResult is one experiment's record in the JSON envelope.
+type ExperimentResult struct {
+	ID       string `json:"id"`
+	Title    string `json:"title"`
+	PaperRef string `json:"paper_ref"`
+	// Status is StatusOK or StatusFailed.
+	Status string `json:"status"`
+	// Error carries the failure text when Status is StatusFailed.
+	Error string `json:"error,omitempty"`
+	// WallMS is the experiment's wall-clock time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// SolveSteps is the branch-and-bound work (solver steps) performed on
+	// behalf of this experiment; CacheHits/CacheMisses are the solve-cache
+	// lookups it triggered. All three are deltas of process-global
+	// counters: exact when Jobs is 1, attributed approximately when
+	// experiments overlap in time.
+	SolveSteps  int64  `json:"solve_steps"`
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// Envelope is the structured result of one runner invocation.
+type Envelope struct {
+	Schema string `json:"schema"`
+	// Jobs is the effective worker-pool size of the run.
+	Jobs int `json:"jobs"`
+	// WallMS is the whole run's wall-clock time; SequentialMS sums the
+	// per-experiment wall times, so WallMS/SequentialMS exposes the
+	// sharding win on multi-core runs.
+	WallMS       float64 `json:"wall_ms"`
+	SequentialMS float64 `json:"sequential_ms"`
+	// OK and Failed count experiment statuses.
+	OK     int `json:"ok"`
+	Failed int `json:"failed"`
+	// Cache reports the shared solve cache's traffic across the run: the
+	// hit/miss/eviction/steps fields are counter deltas (this run only);
+	// Entries is the cache's occupancy level at the end of the run, not a
+	// delta.
+	Cache cache.Stats `json:"cache"`
+	// Experiments holds one record per experiment, in report order.
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// Run executes the given experiments over a worker pool and streams the
+// combined markdown report to w (pass nil to discard). The report bytes
+// are identical to a sequential experiments.RunAll over the same list,
+// whatever the pool size. The returned error aggregates experiment
+// failures exactly like experiments.RunAll; the envelope is valid (and
+// complete) even when experiments fail.
+func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, error) {
+	jobs := opts.Jobs
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(exps) {
+		jobs = len(exps)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+	if w == nil {
+		w = io.Discard
+	}
+
+	env := Envelope{
+		Schema:      Schema,
+		Jobs:        jobs,
+		Experiments: make([]ExperimentResult, len(exps)),
+	}
+	start := time.Now()
+	cacheBefore := cache.Shared().Stats()
+
+	// Each job owns the buffer and result slot of its experiment index;
+	// done[i] is closed when slot i is final. The flush loop below waits
+	// on the slots in order, so output streams as soon as the next
+	// experiment in report order has finished — not only at the end.
+	type slot struct {
+		buf  strings.Builder
+		done chan struct{}
+	}
+	slots := make([]*slot, len(exps))
+	for i := range slots {
+		slots[i] = &slot{done: make(chan struct{})}
+	}
+	tasks := make(chan int)
+	for worker := 0; worker < jobs; worker++ {
+		go func() {
+			for i := range tasks {
+				runOne(exps[i], &slots[i].buf, &env.Experiments[i])
+				close(slots[i].done)
+			}
+		}()
+	}
+	go func() {
+		for i := range exps {
+			tasks <- i
+		}
+		close(tasks)
+	}()
+
+	var writeErr error
+	for i := range slots {
+		<-slots[i].done
+		if writeErr == nil {
+			_, writeErr = io.WriteString(w, slots[i].buf.String())
+		}
+		slots[i].buf.Reset()
+	}
+
+	env.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	cacheAfter := cache.Shared().Stats()
+	env.Cache = cache.Stats{
+		Hits:        cacheAfter.Hits - cacheBefore.Hits,
+		Misses:      cacheAfter.Misses - cacheBefore.Misses,
+		Evictions:   cacheAfter.Evictions - cacheBefore.Evictions,
+		Entries:     cacheAfter.Entries,
+		StepsSolved: cacheAfter.StepsSolved - cacheBefore.StepsSolved,
+		StepsSaved:  cacheAfter.StepsSaved - cacheBefore.StepsSaved,
+	}
+
+	var failures []string
+	for _, r := range env.Experiments {
+		env.SequentialMS += r.WallMS
+		if r.Status == StatusFailed {
+			env.Failed++
+			failures = append(failures, fmt.Sprintf("%s: %s", r.ID, r.Error))
+		} else {
+			env.OK++
+		}
+	}
+	// Joined, not prioritised: a report-writer error (disk full) must not
+	// mask which experiments failed, and vice versa.
+	var failErr error
+	if len(failures) > 0 {
+		failErr = fmt.Errorf("experiments failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	if writeErr != nil {
+		return env, errors.Join(failErr, fmt.Errorf("runner: report write: %w", writeErr))
+	}
+	return env, failErr
+}
+
+// runOne executes a single experiment into its private buffer and fills
+// its envelope record. The markdown framing replicates experiments.RunAll
+// byte for byte.
+func runOne(e experiments.Experiment, buf *strings.Builder, res *ExperimentResult) {
+	res.ID, res.Title, res.PaperRef = e.ID, e.Title, e.PaperRef
+	fmt.Fprintf(buf, "## %s — %s\n\n*Reproduces: %s*\n\n", e.ID, e.Title, e.PaperRef)
+	before := cache.Shared().Stats()
+	start := time.Now()
+	err := e.Run(buf)
+	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	after := cache.Shared().Stats()
+	res.SolveSteps = after.StepsSolved - before.StepsSolved
+	res.CacheHits = after.Hits - before.Hits
+	res.CacheMisses = after.Misses - before.Misses
+	if err != nil {
+		res.Status = StatusFailed
+		res.Error = err.Error()
+		fmt.Fprintf(buf, "**FAILED**: %v\n\n", err)
+		return
+	}
+	res.Status = StatusOK
+	fmt.Fprintf(buf, "\n")
+}

@@ -1,0 +1,165 @@
+package runner
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"congestlb/internal/experiments"
+)
+
+// fastSubset picks a handful of real experiments with distinct workloads.
+func fastSubset(t *testing.T) []experiments.Experiment {
+	t.Helper()
+	exps, err := experiments.Select([]string{"figure1", "codes", "cutsize", "solver", "twoparty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exps
+}
+
+func TestShardedReportMatchesSequential(t *testing.T) {
+	exps := fastSubset(t)
+
+	var sequential bytes.Buffer
+	if _, err := Run(exps, Options{Jobs: 1}, &sequential); err != nil {
+		t.Fatal(err)
+	}
+	var sharded bytes.Buffer
+	if _, err := Run(exps, Options{Jobs: 4}, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sequential.Bytes(), sharded.Bytes()) {
+		t.Fatalf("sharded report differs from sequential run:\n--- jobs=1 ---\n%.400s\n--- jobs=4 ---\n%.400s",
+			sequential.String(), sharded.String())
+	}
+}
+
+// TestRunMatchesRunAll pins the runner's framing to the legacy sequential
+// aggregator byte for byte, over the full registry.
+func TestRunMatchesRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry comparison runs every experiment; skipped in -short mode")
+	}
+	var legacy bytes.Buffer
+	if err := experiments.RunAll(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	var sharded bytes.Buffer
+	if _, err := Run(experiments.All(), Options{Jobs: 4}, &sharded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(legacy.Bytes(), sharded.Bytes()) {
+		t.Fatal("runner output diverged from experiments.RunAll")
+	}
+}
+
+func TestEnvelopeFields(t *testing.T) {
+	exps := fastSubset(t)
+	env, err := Run(exps, Options{Jobs: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Schema != Schema {
+		t.Fatalf("schema %q", env.Schema)
+	}
+	if env.Jobs != 2 {
+		t.Fatalf("jobs %d", env.Jobs)
+	}
+	if env.OK != len(exps) || env.Failed != 0 {
+		t.Fatalf("counts ok=%d failed=%d", env.OK, env.Failed)
+	}
+	if env.WallMS <= 0 || env.SequentialMS <= 0 {
+		t.Fatalf("wall times not recorded: %+v", env)
+	}
+	if len(env.Experiments) != len(exps) {
+		t.Fatalf("%d records for %d experiments", len(env.Experiments), len(exps))
+	}
+	for i, r := range env.Experiments {
+		if r.ID != exps[i].ID {
+			t.Fatalf("record %d is %s, want %s (order must match the report)", i, r.ID, exps[i].ID)
+		}
+		if r.Status != StatusOK {
+			t.Fatalf("%s status %q: %s", r.ID, r.Status, r.Error)
+		}
+		if r.WallMS < 0 {
+			t.Fatalf("%s wall %f", r.ID, r.WallMS)
+		}
+	}
+	// The subset includes exact solves (figure1, solver, twoparty), so the
+	// run must have recorded solver traffic. (Whether it lands as hits or
+	// misses depends on what earlier tests left in the shared cache.)
+	if env.Cache.Hits+env.Cache.Misses == 0 {
+		t.Fatalf("no solve-cache traffic recorded: %+v", env.Cache)
+	}
+}
+
+func TestWorkerPoolClampedToExperiments(t *testing.T) {
+	exps := fastSubset(t)[:2]
+	env, err := Run(exps, Options{Jobs: 64}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Jobs != 2 {
+		t.Fatalf("pool not clamped: jobs=%d", env.Jobs)
+	}
+}
+
+func TestFailuresAggregateLikeRunAll(t *testing.T) {
+	boom := errors.New("assertion blew up")
+	exps := []experiments.Experiment{
+		{ID: "alpha", Title: "A", PaperRef: "ref A", Run: func(w io.Writer) error {
+			fmt.Fprintln(w, "alpha body")
+			return nil
+		}},
+		{ID: "beta", Title: "B", PaperRef: "ref B", Run: func(w io.Writer) error {
+			fmt.Fprintln(w, "beta body")
+			return boom
+		}},
+		{ID: "gamma", Title: "C", PaperRef: "ref C", Run: func(w io.Writer) error {
+			fmt.Fprintln(w, "gamma body")
+			return nil
+		}},
+	}
+	var report bytes.Buffer
+	env, err := Run(exps, Options{Jobs: 3}, &report)
+	if err == nil {
+		t.Fatal("failure did not surface")
+	}
+	want := "experiments failed:\n  beta: assertion blew up"
+	if err.Error() != want {
+		t.Fatalf("error %q, want %q (RunAll parity)", err.Error(), want)
+	}
+	if env.OK != 2 || env.Failed != 1 {
+		t.Fatalf("counts ok=%d failed=%d", env.OK, env.Failed)
+	}
+	if env.Experiments[1].Status != StatusFailed || env.Experiments[1].Error != "assertion blew up" {
+		t.Fatalf("beta record %+v", env.Experiments[1])
+	}
+	out := report.String()
+	if !strings.Contains(out, "**FAILED**: assertion blew up") {
+		t.Fatalf("report missing failure marker:\n%s", out)
+	}
+	// The failing experiment must not derail the ones after it.
+	if !strings.Contains(out, "gamma body") {
+		t.Fatalf("report missing post-failure section:\n%s", out)
+	}
+	// Order preserved despite concurrency.
+	if strings.Index(out, "## alpha") > strings.Index(out, "## beta") ||
+		strings.Index(out, "## beta") > strings.Index(out, "## gamma") {
+		t.Fatalf("sections out of order:\n%s", out)
+	}
+}
+
+func TestRunEmptyList(t *testing.T) {
+	env, err := Run(nil, Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.OK != 0 || env.Failed != 0 || len(env.Experiments) != 0 {
+		t.Fatalf("empty run envelope %+v", env)
+	}
+}
