@@ -23,7 +23,7 @@ func benchExperiment(b *testing.B, id string) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(io.Discard); err != nil {
+		if err := e.Run(experiments.NewCtx(io.Discard, nil)); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
 	}

@@ -11,12 +11,23 @@
 // It also consumes the experiment runner's JSON result envelope
 // (cmd/experiments -json):
 //
-//	benchjson -experiments experiments.json
+//	benchjson -experiments experiments.json [-require-disk-hits]
 //
 // prints a per-experiment summary (status, wall time, solver work, cache
-// traffic) and exits non-zero if the envelope is malformed or any
-// experiment finished with a non-ok status — the CI gate for the sharded
-// experiment smoke run.
+// traffic including the persistent disk tier) and exits non-zero if the
+// envelope is malformed or any experiment finished with a non-ok status —
+// the CI gate for the sharded experiment smoke run. -require-disk-hits
+// additionally fails when the run served nothing from the disk tier, which
+// is how CI asserts that a warm -cache-dir re-run actually skipped
+// branch-and-bound.
+//
+// Finally, -compare turns two archived baselines into an enforced
+// trajectory instead of an archive:
+//
+//	benchjson -compare [-threshold 0.25] old.json new.json
+//
+// prints per-benchmark ns/op and B/op deltas and exits non-zero if any
+// benchmark regressed by more than the threshold (default 0.25 = +25%).
 package main
 
 import (
@@ -108,7 +119,9 @@ func convert(r io.Reader, w io.Writer) error {
 // checkEnvelope validates an experiment result envelope: well-formed JSON
 // with the expected schema, and every experiment ok. A human-readable
 // summary is written to w either way; a non-nil error means CI must fail.
-func checkEnvelope(r io.Reader, w io.Writer) error {
+// With requireDiskHits, a run that served nothing from the persistent
+// disk tier also fails — the warm-cache CI smoke's assertion.
+func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits bool) error {
 	var env runner.Envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return fmt.Errorf("benchjson: envelope: %w", err)
@@ -116,9 +129,11 @@ func checkEnvelope(r io.Reader, w io.Writer) error {
 	if env.Schema != runner.Schema {
 		return fmt.Errorf("benchjson: envelope schema %q, want %q", env.Schema, runner.Schema)
 	}
-	fmt.Fprintf(w, "%d experiment(s), jobs=%d, wall %.0f ms (sequential %.0f ms), cache %d hit / %d miss\n",
-		len(env.Experiments), env.Jobs, env.WallMS, env.SequentialMS,
+	fmt.Fprintf(w, "%d experiment(s), jobs=%d, solver workers=%d, wall %.0f ms (sequential %.0f ms), cache %d hit / %d miss\n",
+		len(env.Experiments), env.Jobs, env.SolverWorkers, env.WallMS, env.SequentialMS,
 		env.Cache.Hits, env.Cache.Misses)
+	fmt.Fprintf(w, "disk tier: %d hit / %d miss, %d written, %d evicted\n",
+		env.Cache.DiskHits, env.Cache.DiskMisses, env.Cache.DiskWrites, env.Cache.DiskEvictions)
 	var failed []string
 	for _, e := range env.Experiments {
 		fmt.Fprintf(w, "  %-12s %-6s %8.1f ms  %10d steps  %d hit / %d miss\n",
@@ -133,12 +148,94 @@ func checkEnvelope(r io.Reader, w io.Writer) error {
 	if len(failed) > 0 {
 		return fmt.Errorf("benchjson: %d experiment(s) not ok:\n  %s", len(failed), strings.Join(failed, "\n  "))
 	}
+	if requireDiskHits && env.Cache.DiskHits == 0 {
+		return fmt.Errorf("benchjson: run reported no disk-tier hits (warm cache expected)")
+	}
+	return nil
+}
+
+// readBaseline loads a benchjson baseline file (the convert output).
+func readBaseline(path string) (map[string]Result, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []Result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, nil, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	byName := make(map[string]Result, len(results))
+	names := make([]string, 0, len(results))
+	for _, r := range results {
+		if _, dup := byName[r.Name]; !dup {
+			names = append(names, r.Name)
+		}
+		byName[r.Name] = r
+	}
+	return byName, names, nil
+}
+
+// pctDelta formats new relative to old as a signed percentage.
+func pctDelta(oldV, newV float64) string {
+	if oldV == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(newV-oldV)/oldV)
+}
+
+// compareBaselines diffs two baselines benchmark by benchmark and fails on
+// any ns/op or B/op regression beyond threshold (a fraction: 0.25 = +25%).
+// Benchmarks present in only one file are reported but never fail the
+// comparison — the suite is allowed to grow and shrink.
+func compareBaselines(oldPath, newPath string, threshold float64, w io.Writer) error {
+	oldBy, oldNames, err := readBaseline(oldPath)
+	if err != nil {
+		return err
+	}
+	newBy, newNames, err := readBaseline(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-32s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ", "old B/op", "new B/op", "Δ")
+	var regressions []string
+	for _, name := range oldNames {
+		oldR := oldBy[name]
+		newR, ok := newBy[name]
+		if !ok {
+			fmt.Fprintf(w, "%-32s %14.0f %14s (removed)\n", name, oldR.NsPerOp, "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %9s %12d %12d %9s\n",
+			name, oldR.NsPerOp, newR.NsPerOp, pctDelta(oldR.NsPerOp, newR.NsPerOp),
+			oldR.BytesPerOp, newR.BytesPerOp,
+			pctDelta(float64(oldR.BytesPerOp), float64(newR.BytesPerOp)))
+		if newR.NsPerOp > oldR.NsPerOp*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf("%s: ns/op %s", name, pctDelta(oldR.NsPerOp, newR.NsPerOp)))
+		}
+		if oldR.BytesPerOp > 0 && float64(newR.BytesPerOp) > float64(oldR.BytesPerOp)*(1+threshold) {
+			regressions = append(regressions, fmt.Sprintf("%s: B/op %s", name, pctDelta(float64(oldR.BytesPerOp), float64(newR.BytesPerOp))))
+		}
+	}
+	for _, name := range newNames {
+		if _, ok := oldBy[name]; !ok {
+			fmt.Fprintf(w, "%-32s %14s %14.0f (new)\n", name, "-", newBy[name].NsPerOp)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchjson: %d regression(s) beyond +%.0f%%:\n  %s",
+			len(regressions), threshold*100, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(w, "no regression beyond +%.0f%%\n", threshold*100)
 	return nil
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	experimentsEnv := flag.String("experiments", "", "validate an experiment result envelope (cmd/experiments -json) instead of converting bench output")
+	requireDiskHits := flag.Bool("require-disk-hits", false, "with -experiments: fail unless the run served at least one solve from the disk tier")
+	compare := flag.Bool("compare", false, "compare two baseline files (old.json new.json) and fail on regressions beyond -threshold")
+	threshold := flag.Float64("threshold", 0.25, "with -compare: allowed ns/op and B/op growth as a fraction (0.25 = +25%)")
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
@@ -151,6 +248,18 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	if *compare {
+		args := flag.Args()
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two baseline files: old.json new.json")
+			os.Exit(1)
+		}
+		if err := compareBaselines(args[0], args[1], *threshold, w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *experimentsEnv != "" {
 		f, err := os.Open(*experimentsEnv)
 		if err != nil {
@@ -158,7 +267,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := checkEnvelope(f, w); err != nil {
+		if err := checkEnvelope(f, w, *requireDiskHits); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

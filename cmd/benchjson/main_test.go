@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -84,7 +86,7 @@ func TestCheckEnvelopeOK(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -106,7 +108,7 @@ func TestCheckEnvelopeFailsOnNonOK(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf)
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false)
 	if err == nil {
 		t.Fatal("failed experiment accepted")
 	}
@@ -115,12 +117,100 @@ func TestCheckEnvelopeFailsOnNonOK(t *testing.T) {
 	}
 }
 
+func TestCheckEnvelopeRequireDiskHits(t *testing.T) {
+	env := runner.Envelope{
+		Schema:      runner.Schema,
+		OK:          1,
+		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
+	}
+	var buf bytes.Buffer
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true); err == nil {
+		t.Fatal("cold run accepted with -require-disk-hits")
+	}
+	env.Cache.DiskHits = 3
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true); err != nil {
+		t.Fatalf("warm run rejected: %v", err)
+	}
+}
+
+// writeBaseline marshals results to a temp baseline file.
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareBaselinesPassAndDeltas(t *testing.T) {
+	oldPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkA", Iterations: 3, NsPerOp: 1000, BytesPerOp: 500},
+		{Name: "BenchmarkGone", Iterations: 3, NsPerOp: 10},
+	})
+	newPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkA", Iterations: 3, NsPerOp: 1100, BytesPerOp: 450},
+		{Name: "BenchmarkNew", Iterations: 3, NsPerOp: 20},
+	})
+	var buf bytes.Buffer
+	if err := compareBaselines(oldPath, newPath, 0.25, &buf); err != nil {
+		t.Fatalf("+10%% within +25%% threshold rejected: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"+10.0%", "-10.0%", "(removed)", "(new)", "no regression"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareBaselinesFailsOnRegression(t *testing.T) {
+	oldPath := writeBaseline(t, []Result{{Name: "BenchmarkA", Iterations: 3, NsPerOp: 1000, BytesPerOp: 100}})
+	var buf bytes.Buffer
+
+	slow := writeBaseline(t, []Result{{Name: "BenchmarkA", Iterations: 3, NsPerOp: 1500, BytesPerOp: 100}})
+	err := compareBaselines(oldPath, slow, 0.25, &buf)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("+50%% ns/op regression not flagged: %v", err)
+	}
+
+	fat := writeBaseline(t, []Result{{Name: "BenchmarkA", Iterations: 3, NsPerOp: 1000, BytesPerOp: 200}})
+	err = compareBaselines(oldPath, fat, 0.25, &buf)
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("+100%% B/op regression not flagged: %v", err)
+	}
+
+	// A looser threshold lets the same delta through.
+	if err := compareBaselines(oldPath, slow, 0.60, &buf); err != nil {
+		t.Fatalf("+50%% rejected at +60%% threshold: %v", err)
+	}
+}
+
+func TestCompareBaselinesBadInput(t *testing.T) {
+	good := writeBaseline(t, []Result{{Name: "BenchmarkA", Iterations: 1, NsPerOp: 1}})
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := compareBaselines(good, bad, 0.25, &buf); err == nil {
+		t.Fatal("garbage new baseline accepted")
+	}
+	if err := compareBaselines(filepath.Join(t.TempDir(), "missing.json"), good, 0.25, &buf); err == nil {
+		t.Fatal("missing old baseline accepted")
+	}
+}
+
 func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader("not json"), &buf); err == nil {
+	if err := checkEnvelope(strings.NewReader("not json"), &buf, false); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf); err == nil {
+	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf, false); err == nil {
 		t.Fatal("wrong schema accepted")
 	}
 	// An envelope whose summary counters disagree with its records is
@@ -130,7 +220,7 @@ func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
 		Failed:      1,
 		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false); err == nil {
 		t.Fatal("inconsistent envelope accepted")
 	}
 }

@@ -2,16 +2,22 @@
 //
 // Usage:
 //
-//	experiments [-id figure1,theorem5] [-jobs 4] [-o report.md] [-json out.json] [-list]
+//	experiments [-id figure1,theorem5] [-jobs 4] [-solver-workers 4]
+//	            [-cache-dir .solvecache] [-o report.md] [-json out.json] [-list]
 //
 // Without -id it runs every registered experiment and emits a combined
 // markdown report (the source of EXPERIMENTS.md's measured columns).
 // Experiments execute as shardable jobs over a worker pool (-jobs, default
 // GOMAXPROCS); the markdown report is byte-identical whatever the pool
-// size. -json additionally writes the structured result envelope — one
-// record per experiment with status, wall time, solver steps and solve
-// cache statistics — which cmd/benchjson -experiments validates and CI
-// archives.
+// size. -solver-workers sets the branch-and-bound parallelism of every
+// exact solve (default GOMAXPROCS; results are deterministic at any
+// setting). -cache-dir attaches the persistent solve-cache tier: re-runs
+// with the same directory serve previously solved graphs from disk and
+// skip branch-and-bound entirely. -json additionally writes the structured
+// result envelope — one record per experiment with status, wall time,
+// exactly-attributed solver steps and solve cache statistics, plus
+// run-level disk-tier traffic — which cmd/benchjson -experiments validates
+// and CI archives.
 package main
 
 import (
@@ -24,6 +30,8 @@ import (
 	"strings"
 
 	"congestlb/internal/experiments"
+	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 	"congestlb/internal/runner"
 )
 
@@ -40,9 +48,22 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("o", "", "write the report to this file instead of stdout")
 	jsonOut := fs.String("json", "", "write the JSON result envelope to this file")
 	jobs := fs.Int("jobs", 0, "experiment worker-pool size (default GOMAXPROCS)")
+	solverWorkers := fs.Int("solver-workers", 0, "branch-and-bound workers per exact solve (default GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "persistent solve-cache directory; re-runs serve solved graphs from disk")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *solverWorkers > 0 {
+		// Package default too, so solves outside the runner's sessions
+		// (facade helpers, programs built without a session) agree.
+		defer mis.SetDefaultWorkers(mis.SetDefaultWorkers(*solverWorkers))
+	}
+	if *cacheDir != "" {
+		if err := cache.Shared().SetDir(*cacheDir, 0); err != nil {
+			return err
+		}
+		defer cache.Shared().SetDir("", 0)
 	}
 
 	w := stdout
@@ -76,7 +97,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(w, "# Regenerated results — Beyond Alice and Bob (PODC 2020)\n\n")
 	}
 
-	env, runErr := runner.Run(exps, runner.Options{Jobs: *jobs}, w)
+	env, runErr := runner.Run(exps, runner.Options{Jobs: *jobs, SolverWorkers: *solverWorkers}, w)
 	if *jsonOut != "" {
 		// Joined with runErr: a broken -json path must not hide which
 		// experiments failed (or vice versa).

@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"congestlb/internal/mis/cache"
 	"congestlb/internal/runner"
 )
 
@@ -82,6 +84,77 @@ func TestExperimentsJSONEnvelope(t *testing.T) {
 	}
 	if env.Experiments[0].ID != "figure1" || env.Experiments[1].ID != "codes" {
 		t.Fatalf("envelope order: %s, %s", env.Experiments[0].ID, env.Experiments[1].ID)
+	}
+}
+
+// TestExperimentsCacheDirWarmRun is the persistence story end to end: a
+// cold run with -cache-dir writes solve entries; a second run over the
+// same directory (with the in-memory cache emptied, as a new process
+// would be) reports disk hits and no fresh solver work for those graphs.
+func TestExperimentsCacheDirWarmRun(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "solvecache")
+	ids := "figure1,twoparty"
+
+	cache.Shared().Reset()
+	coldPath := filepath.Join(t.TempDir(), "cold.json")
+	if err := run([]string{"-id", ids, "-cache-dir", dir, "-json", coldPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	cold := readEnvelope(t, coldPath)
+	if cold.Cache.DiskWrites == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", cold.Cache)
+	}
+	if cold.Cache.DiskHits != 0 {
+		t.Fatalf("cold run claims disk hits: %+v", cold.Cache)
+	}
+
+	// Simulate a fresh process: drop the in-memory tier, keep the disk.
+	cache.Shared().Reset()
+	warmPath := filepath.Join(t.TempDir(), "warm.json")
+	if err := run([]string{"-id", ids, "-cache-dir", dir, "-json", warmPath}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	warm := readEnvelope(t, warmPath)
+	if warm.Cache.DiskHits == 0 {
+		t.Fatalf("warm run served nothing from disk: %+v", warm.Cache)
+	}
+	if warm.Cache.StepsSolved >= cold.Cache.StepsSolved {
+		t.Fatalf("warm run did not skip solver work: cold %d steps, warm %d",
+			cold.Cache.StepsSolved, warm.Cache.StepsSolved)
+	}
+	cache.Shared().Reset()
+}
+
+func readEnvelope(t *testing.T, path string) runner.Envelope {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env runner.Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("envelope %s: %v", path, err)
+	}
+	return env
+}
+
+// TestExperimentsSolverWorkersFlag pins -solver-workers into the envelope
+// and keeps the report identical to the default run (deterministic
+// solver).
+func TestExperimentsSolverWorkersFlag(t *testing.T) {
+	var def, par bytes.Buffer
+	path := filepath.Join(t.TempDir(), "env.json")
+	if err := run([]string{"-id", "figure1", "-jobs", "1"}, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-id", "figure1", "-jobs", "1", "-solver-workers", "4", "-json", path}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(def.Bytes(), par.Bytes()) {
+		t.Fatal("-solver-workers changed the report")
+	}
+	if env := readEnvelope(t, path); env.SolverWorkers != 4 {
+		t.Fatalf("envelope solver_workers = %d, want 4", env.SolverWorkers)
 	}
 }
 

@@ -143,9 +143,40 @@ type (
 type (
 	// Solution is an independent set with its weight.
 	Solution = mis.Solution
-	// SolverOptions configures the exact MaxIS solver.
+	// SolverOptions configures the exact MaxIS solver (clique cover, step
+	// budget, branch-and-bound worker count).
 	SolverOptions = mis.Options
+	// SolveCacheStats is a snapshot of the shared solve cache's counters,
+	// including the persistent disk tier's.
+	SolveCacheStats = cache.Stats
+	// SolveSession is a per-caller view of the solve cache with exact
+	// traffic attribution and a solver worker default; see NewSolveSession.
+	SolveSession = cache.Session
 )
+
+// SetSolverWorkers sets the process-wide branch-and-bound worker default
+// used by exact solves that do not pin SolverOptions.Workers, returning
+// the previous setting (0 = GOMAXPROCS at solve time). Results are
+// deterministic at any worker count.
+func SetSolverWorkers(n int) int { return mis.SetDefaultWorkers(n) }
+
+// SolverWorkers reports the current process-wide worker default (0 =
+// GOMAXPROCS at solve time).
+func SolverWorkers() int { return mis.DefaultWorkers() }
+
+// SetSolveCacheDir attaches a persistent on-disk tier to the shared solve
+// cache (pass "" to detach): solves of content-identical graphs in later
+// processes are served from disk instead of re-running branch-and-bound.
+func SetSolveCacheDir(dir string) error { return cache.Shared().SetDir(dir, 0) }
+
+// SharedSolveCacheStats snapshots the shared solve cache's counters.
+func SharedSolveCacheStats() SolveCacheStats { return cache.Shared().Stats() }
+
+// NewSolveSession returns a view of the shared solve cache that counts
+// exactly the traffic routed through it and stamps the given solver worker
+// count (0 = default) onto its solves. Pass it to the *With program
+// constructors and protocol runners for per-caller attribution.
+func NewSolveSession(workers int) *SolveSession { return cache.NewSession(nil, workers) }
 
 // NewLinear constructs the Section 4 family for the given parameters.
 func NewLinear(p Params) (*LinearFamily, error) { return lbgraph.NewLinear(p) }

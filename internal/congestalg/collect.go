@@ -62,15 +62,26 @@ type CollectSolve struct {
 	// sendBuf is the scratch buffer for broadcast payloads (BFS floods
 	// and the parent announcement), reused across rounds.
 	sendBuf []byte
+
+	// sess routes the root's exact solve (nil = shared solve cache).
+	sess *cache.Session
 }
 
 var _ congest.BufferedProgram = (*CollectSolve)(nil)
 
 // NewCollectSolvePrograms returns one CollectSolve program per node.
 func NewCollectSolvePrograms(n int) []congest.NodeProgram {
+	return NewCollectSolveProgramsWith(nil, n)
+}
+
+// NewCollectSolveProgramsWith is NewCollectSolvePrograms with the root's
+// exact solve routed through the given solve session (nil = the shared
+// cache), so callers get exact attribution of the solver work their run
+// triggers.
+func NewCollectSolveProgramsWith(sess *cache.Session, n int) []congest.NodeProgram {
 	programs := make([]congest.NodeProgram, n)
 	for i := range programs {
-		programs[i] = &CollectSolve{}
+		programs[i] = &CollectSolve{sess: sess}
 	}
 	return programs
 }
@@ -308,7 +319,7 @@ func (cs *CollectSolve) solveAtRoot() {
 			return
 		}
 	}
-	sol, err := cache.Exact(sub, mis.Options{})
+	sol, err := cs.sess.Exact(sub, mis.Options{})
 	if err != nil {
 		cs.failed = fmt.Errorf("congestalg: collect at %d: solve: %w", cs.info.ID, err)
 		return

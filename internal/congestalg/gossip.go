@@ -55,15 +55,26 @@ type GossipExact struct {
 	solved bool
 	result []graphs.NodeID
 	errVal error
+
+	// sess routes the local solve (nil = shared solve cache).
+	sess *cache.Session
 }
 
 var _ congest.BufferedProgram = (*GossipExact)(nil)
 
 // NewGossipExactPrograms returns one GossipExact program per node.
 func NewGossipExactPrograms(n int) []congest.NodeProgram {
+	return NewGossipExactProgramsWith(nil, n)
+}
+
+// NewGossipExactProgramsWith is NewGossipExactPrograms with every node's
+// local solve routed through the given solve session (nil = the shared
+// cache), so callers get exact attribution of the solver work their run
+// triggers.
+func NewGossipExactProgramsWith(sess *cache.Session, n int) []congest.NodeProgram {
 	programs := make([]congest.NodeProgram, n)
 	for i := range programs {
-		programs[i] = &GossipExact{}
+		programs[i] = &GossipExact{sess: sess}
 	}
 	return programs
 }
@@ -191,7 +202,7 @@ func (g *GossipExact) complete() bool {
 // branch-and-bound and the other n-1 hit the cached solution.
 func (g *GossipExact) solve() {
 	g.solved = true
-	sol, err := cache.Exact(g.rebuilt, mis.Options{})
+	sol, err := g.sess.Exact(g.rebuilt, mis.Options{})
 	if err != nil {
 		g.fail(fmt.Errorf("gossip at node %d: local solve: %w", g.info.ID, err))
 		return

@@ -6,6 +6,7 @@ import (
 	"congestlb/internal/congest"
 	"congestlb/internal/congestalg"
 	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
 // This file wires the GossipExact CONGEST algorithm into the reduction as
@@ -16,6 +17,16 @@ import (
 // GossipPrograms is the ProgramFactory running GossipExact on an instance.
 func GossipPrograms(inst Instance) []congest.NodeProgram {
 	return congestalg.NewGossipExactPrograms(inst.Graph.N())
+}
+
+// GossipProgramsWith returns a GossipPrograms variant whose local solves
+// run through the given solve session (nil = the shared cache), for
+// callers that need exact attribution of the solver work a simulation
+// triggers.
+func GossipProgramsWith(sess *cache.Session) ProgramFactory {
+	return func(inst Instance) []congest.NodeProgram {
+		return congestalg.NewGossipExactProgramsWith(sess, inst.Graph.N())
+	}
 }
 
 // GossipOpt extracts the exact MaxIS weight from a finished GossipExact
@@ -38,6 +49,14 @@ func GossipOpt(result congest.Result, inst Instance) (int64, error) {
 // true optimum from its runs.
 func CollectPrograms(inst Instance) []congest.NodeProgram {
 	return congestalg.NewCollectSolvePrograms(inst.Graph.N())
+}
+
+// CollectProgramsWith is CollectPrograms with the root's solve routed
+// through the given solve session (nil = the shared cache).
+func CollectProgramsWith(sess *cache.Session) ProgramFactory {
+	return func(inst Instance) []congest.NodeProgram {
+		return congestalg.NewCollectSolveProgramsWith(sess, inst.Graph.N())
+	}
 }
 
 // WitnessOpt is an OptExtractor for algorithms whose outputs are

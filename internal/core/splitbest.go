@@ -42,6 +42,13 @@ func (r SplitBestReport) Ratio() float64 {
 // that caps the two-party framework; more players weaken the cap to 1/t,
 // which is exactly why the multi-party framework can push below 1/2.
 func SplitBest(inst Instance) (SplitBestReport, error) {
+	return SplitBestWith(nil, inst)
+}
+
+// SplitBestWith is SplitBest with every exact solve routed through the
+// given solve session (nil = the shared cache), so callers get exact
+// attribution of the protocol's solver work.
+func SplitBestWith(sess *cache.Session, inst Instance) (SplitBestReport, error) {
 	g, part := inst.Graph, inst.Partition
 	if err := part.Validate(g); err != nil {
 		return SplitBestReport{}, err
@@ -55,7 +62,7 @@ func SplitBest(inst Instance) (SplitBestReport, error) {
 		if err != nil {
 			return SplitBestReport{}, fmt.Errorf("core: player %d subgraph: %w", i, err)
 		}
-		sol, err := cache.Exact(sub, mis.Options{CliqueCover: coverWithin(inst, nodes)})
+		sol, err := sess.Exact(sub, mis.Options{CliqueCover: coverWithin(inst, nodes)})
 		if err != nil {
 			return SplitBestReport{}, fmt.Errorf("core: player %d local solve: %w", i, err)
 		}
@@ -75,7 +82,7 @@ func SplitBest(inst Instance) (SplitBestReport, error) {
 			best = v
 		}
 	}
-	globalSol, err := cache.Exact(g, mis.Options{CliqueCover: inst.CliqueCover})
+	globalSol, err := sess.Exact(g, mis.Options{CliqueCover: inst.CliqueCover})
 	if err != nil {
 		return SplitBestReport{}, fmt.Errorf("core: global solve: %w", err)
 	}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"congestlb/internal/bitvec"
 	"congestlb/internal/code"
@@ -23,7 +22,7 @@ func init() {
 	})
 }
 
-func runAblations(w io.Writer) error {
+func runAblations(w *Ctx) error {
 	var c check
 
 	// The disjoint input used throughout: one weight-ℓ node per player at
@@ -48,7 +47,7 @@ func runAblations(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optF, err := exactInstanceOpt(instF)
+	optF, err := w.exactInstanceOpt(instF)
 	if err != nil {
 		return err
 	}
@@ -68,7 +67,7 @@ func runAblations(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optW, err := exactInstanceOpt(instW)
+	optW, err := w.exactInstanceOpt(instW)
 	if err != nil {
 		return err
 	}
@@ -86,7 +85,7 @@ func runAblations(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optN, err := exactInstanceOpt(instN)
+	optN, err := w.exactInstanceOpt(instN)
 	if err != nil {
 		return err
 	}
@@ -108,7 +107,7 @@ func runAblations(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optUI, err := exactInstanceOpt(instUI)
+	optUI, err := w.exactInstanceOpt(instUI)
 	if err != nil {
 		return err
 	}
@@ -116,7 +115,7 @@ func runAblations(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optUD, err := exactInstanceOpt(instUD)
+	optUD, err := w.exactInstanceOpt(instUD)
 	if err != nil {
 		return err
 	}
@@ -152,7 +151,7 @@ func runAblations(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optQ, err := exactInstanceOpt(instQ)
+	optQ, err := w.exactInstanceOpt(instQ)
 	if err != nil {
 		return err
 	}
@@ -167,7 +166,7 @@ func runAblations(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optInv, err := exactInstanceOpt(instInv)
+	optInv, err := w.exactInstanceOpt(instInv)
 	if err != nil {
 		return err
 	}
@@ -190,7 +189,7 @@ func runAblations(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optNo, err := exactInstanceOpt(instNo)
+	optNo, err := w.exactInstanceOpt(instNo)
 	if err != nil {
 		return err
 	}

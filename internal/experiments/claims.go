@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
 
 	"congestlb/internal/bitvec"
@@ -10,7 +9,6 @@ import (
 	"congestlb/internal/core"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
-	"congestlb/internal/mis/cache"
 )
 
 // The claim/lemma experiments verify the combinatorial heart of the paper
@@ -50,16 +48,18 @@ func init() {
 	})
 }
 
-// exactInstanceOpt solves an instance with its natural cover.
-func exactInstanceOpt(inst core.Instance) (int64, error) {
-	sol, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+// exactInstanceOpt solves an instance with its natural cover through the
+// context's solve session (its method-value form is a core.AuditGap
+// oracle).
+func (w *Ctx) exactInstanceOpt(inst core.Instance) (int64, error) {
+	sol, err := w.Solve.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 	if err != nil {
 		return 0, err
 	}
 	return sol.Weight, nil
 }
 
-func runProperties(w io.Writer) error {
+func runProperties(w *Ctx) error {
 	var c check
 	tab := newTable("params", "Property 1 (witness IS)", "Property 2 (matching ≥ ℓ)", "Property 3 (≤ α overlaps)")
 	for _, p := range []lbgraph.Params{
@@ -121,7 +121,7 @@ func runProperties(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			sol, err := cache.Exact(built.Graph, mis.Options{CliqueCover: built.CliqueCover})
+			sol, err := w.Solve.Exact(built.Graph, mis.Options{CliqueCover: built.CliqueCover})
 			if err != nil {
 				return err
 			}
@@ -154,7 +154,7 @@ func runProperties(w io.Writer) error {
 	return c.err()
 }
 
-func runLemma1(w io.Writer) error {
+func runLemma1(w *Ctx) error {
 	var c check
 	p := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
 	l, err := lbgraph.NewLinear(p)
@@ -177,7 +177,7 @@ func runLemma1(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		optI, err := exactInstanceOpt(instI)
+		optI, err := w.exactInstanceOpt(instI)
 		if err != nil {
 			return err
 		}
@@ -192,7 +192,7 @@ func runLemma1(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		optD, err := exactInstanceOpt(instD)
+		optD, err := w.exactInstanceOpt(instD)
 		if err != nil {
 			return err
 		}
@@ -213,7 +213,7 @@ func runLemma1(w io.Writer) error {
 	return c.err()
 }
 
-func runLemma2(w io.Writer) error {
+func runLemma2(w *Ctx) error {
 	var c check
 	// Formula table: the γ thresholds as functions of t, in the ℓ/α→∞
 	// limit and at buildable sizes.
@@ -250,7 +250,7 @@ func runLemma2(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			optI, err := core.AuditGap(l, inter, exactInstanceOpt)
+			optI, err := core.AuditGap(l, inter, w.exactInstanceOpt)
 			if err != nil {
 				return fmt.Errorf("%v intersecting: %w", p, err)
 			}
@@ -261,7 +261,7 @@ func runLemma2(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			optD, err := core.AuditGap(l, dis, exactInstanceOpt)
+			optD, err := core.AuditGap(l, dis, w.exactInstanceOpt)
 			if err != nil {
 				return fmt.Errorf("%v disjoint: %w", p, err)
 			}
@@ -278,7 +278,7 @@ func runLemma2(w io.Writer) error {
 	return c.err()
 }
 
-func runLemma3(w io.Writer) error {
+func runLemma3(w *Ctx) error {
 	var c check
 	formula := newTable("t", "ε", "γ limit 3(t+1)/(4t)", "γ at ℓ=100αt³")
 	for _, t := range []int{2, 4, 8, 14, 32} {
@@ -312,7 +312,7 @@ func runLemma3(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			optI, err := exactInstanceOpt(instI)
+			optI, err := w.exactInstanceOpt(instI)
 			if err != nil {
 				return err
 			}
@@ -327,7 +327,7 @@ func runLemma3(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			optD, err := exactInstanceOpt(instD)
+			optD, err := w.exactInstanceOpt(instD)
 			if err != nil {
 				return err
 			}
@@ -345,7 +345,7 @@ func runLemma3(w io.Writer) error {
 	return c.err()
 }
 
-func runCodes(w io.Writer) error {
+func runCodes(w *Ctx) error {
 	var c check
 	tab := newTable("L=α", "M=ℓ+α", "q", "messages", "guaranteed d=M−L", "measured min distance", "mode")
 	presets := []struct {

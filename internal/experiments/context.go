@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
 
 	"congestlb/internal/bitvec"
@@ -11,7 +10,6 @@ import (
 	"congestlb/internal/core"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
-	"congestlb/internal/mis/cache"
 )
 
 // Context experiments: the Section 1 limitation argument, the Remark 1
@@ -39,7 +37,7 @@ func init() {
 	})
 }
 
-func runTwoParty(w io.Writer) error {
+func runTwoParty(w *Ctx) error {
 	var c check
 	tab := newTable("t", "n", "protocol bits", "best local / global OPT", "floor 1/t")
 	rng := rand.New(rand.NewSource(31))
@@ -60,7 +58,7 @@ func runTwoParty(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		report, err := core.SplitBest(inst)
+		report, err := core.SplitBestWith(w.Solve, inst)
 		if err != nil {
 			return err
 		}
@@ -78,7 +76,7 @@ func runTwoParty(w io.Writer) error {
 	return c.err()
 }
 
-func runRemark1(w io.Writer) error {
+func runRemark1(w *Ctx) error {
 	var c check
 	p := lbgraph.FigureParams(2)
 	l, err := lbgraph.NewLinear(p)
@@ -111,11 +109,11 @@ func runRemark1(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		weighted, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+		weighted, err := w.Solve.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 		if err != nil {
 			return err
 		}
-		unweighted, err := cache.Exact(res.Graph, mis.Options{CliqueCover: lbgraph.BlowupCover(inst.CliqueCover, res)})
+		unweighted, err := w.Solve.Exact(res.Graph, mis.Options{CliqueCover: lbgraph.BlowupCover(inst.CliqueCover, res)})
 		if err != nil {
 			return err
 		}
@@ -140,7 +138,7 @@ func runRemark1(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	report, err := core.Simulate(ufam, uin, core.CollectPrograms, core.WitnessOpt, congest.Config{Seed: 13})
+	report, err := core.Simulate(ufam, uin, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 13})
 	if err != nil {
 		return err
 	}
@@ -153,7 +151,7 @@ func runRemark1(w io.Writer) error {
 	return c.err()
 }
 
-func runUpperBounds(w io.Writer) error {
+func runUpperBounds(w *Ctx) error {
 	var c check
 	p := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
 	l, err := lbgraph.NewLinear(p)
@@ -169,7 +167,7 @@ func runUpperBounds(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	optSol, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+	optSol, err := w.Solve.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 	if err != nil {
 		return err
 	}
@@ -186,8 +184,8 @@ func runUpperBounds(w io.Writer) error {
 	for _, a := range []algo{
 		{name: "Luby MIS (randomised, maximal)", programs: congestalg.NewLubyPrograms(n)},
 		{name: "RankGreedy (deterministic, weight-greedy)", programs: congestalg.NewRankGreedyPrograms(n)},
-		{name: "GossipExact (flooding, exact)", programs: congestalg.NewGossipExactPrograms(n), exact: true, setsOut: true},
-		{name: "CollectSolve (BFS-tree convergecast, exact)", programs: congestalg.NewCollectSolvePrograms(n), exact: true},
+		{name: "GossipExact (flooding, exact)", programs: congestalg.NewGossipExactProgramsWith(w.Solve, n), exact: true, setsOut: true},
+		{name: "CollectSolve (BFS-tree convergecast, exact)", programs: congestalg.NewCollectSolveProgramsWith(w.Solve, n), exact: true},
 	} {
 		net, err := congest.NewNetwork(inst.Graph, a.programs, congest.Config{Seed: 3})
 		if err != nil {

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"congestlb/internal/lbgraph"
 )
@@ -21,7 +20,7 @@ func init() {
 	})
 }
 
-func runDiameter(w io.Writer) error {
+func runDiameter(w *Ctx) error {
 	var c check
 	const maxAllowed = 5
 	tab := newTable("family", "params", "n", "connected", "diameter")

@@ -12,7 +12,35 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"congestlb/internal/mis/cache"
 )
+
+// Ctx is the execution context handed to every experiment run: the report
+// writer (embedded, so a *Ctx is written to directly) plus the solve
+// session through which the experiment's exact MaxIS work is routed. The
+// session carries the run's solver worker count into every
+// branch-and-bound call and books the cache traffic and solver steps the
+// experiment generates — which is what makes the runner's per-experiment
+// envelope attribution exact at any -jobs count.
+type Ctx struct {
+	io.Writer
+	// Solve memoises and attributes this run's exact solves; never nil
+	// when built by NewCtx.
+	Solve *cache.Session
+}
+
+// NewCtx builds an experiment context. A nil writer discards the report; a
+// nil session gets a fresh one over the shared solve cache.
+func NewCtx(w io.Writer, solve *cache.Session) *Ctx {
+	if w == nil {
+		w = io.Discard
+	}
+	if solve == nil {
+		solve = cache.NewSession(nil, 0)
+	}
+	return &Ctx{Writer: w, Solve: solve}
+}
 
 // Experiment is one reproducible unit: it runs, verifies its own
 // assertions (returning an error on any mismatch), and writes a markdown
@@ -25,8 +53,8 @@ type Experiment struct {
 	Title string
 	// PaperRef names the object in the paper this regenerates.
 	PaperRef string
-	// Run executes the experiment, writing its report to w.
-	Run func(w io.Writer) error
+	// Run executes the experiment, writing its report to the context.
+	Run func(w *Ctx) error
 }
 
 // registry holds all experiments keyed by ID.
@@ -95,7 +123,7 @@ func RunAll(w io.Writer) error {
 	var failures []string
 	for _, e := range All() {
 		fmt.Fprintf(w, "## %s — %s\n\n*Reproduces: %s*\n\n", e.ID, e.Title, e.PaperRef)
-		if err := e.Run(w); err != nil {
+		if err := e.Run(NewCtx(w, nil)); err != nil {
 			failures = append(failures, fmt.Sprintf("%s: %v", e.ID, err))
 			fmt.Fprintf(w, "**FAILED**: %v\n\n", err)
 			continue

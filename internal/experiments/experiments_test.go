@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"bytes"
-	"io"
 	"strings"
 	"testing"
 )
@@ -57,7 +56,7 @@ func TestEveryExperimentRunsClean(t *testing.T) {
 				t.Skipf("skipping long experiment %s in -short mode", e.ID)
 			}
 			var buf bytes.Buffer
-			if err := e.Run(&buf); err != nil {
+			if err := e.Run(NewCtx(&buf, nil)); err != nil {
 				t.Fatalf("experiment %s failed: %v", e.ID, err)
 			}
 			out := buf.String()
@@ -124,5 +123,5 @@ func TestRegisterPanicsOnDuplicate(t *testing.T) {
 			t.Fatal("duplicate registration did not panic")
 		}
 	}()
-	register(Experiment{ID: "figure1", Run: func(io.Writer) error { return nil }})
+	register(Experiment{ID: "figure1", Run: func(*Ctx) error { return nil }})
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 
 	"congestlb/internal/bitvec"
 	"congestlb/internal/lbgraph"
@@ -52,7 +51,7 @@ func init() {
 	})
 }
 
-func runFigure1(w io.Writer) error {
+func runFigure1(w *Ctx) error {
 	var c check
 	p := lbgraph.FigureParams(2)
 	l, err := lbgraph.NewLinear(p)
@@ -101,7 +100,7 @@ func runFigure1(w io.Writer) error {
 	return c.err()
 }
 
-func runFigure2(w io.Writer) error {
+func runFigure2(w *Ctx) error {
 	var c check
 	p := lbgraph.FigureParams(2)
 	l, err := lbgraph.NewLinear(p)
@@ -134,7 +133,7 @@ func runFigure2(w io.Writer) error {
 	return c.err()
 }
 
-func runFigure3(w io.Writer) error {
+func runFigure3(w *Ctx) error {
 	var c check
 	p := lbgraph.FigureParams(3)
 	l, err := lbgraph.NewLinear(p)
@@ -167,7 +166,7 @@ func runFigure3(w io.Writer) error {
 	return c.err()
 }
 
-func runFigure4(w io.Writer) error {
+func runFigure4(w *Ctx) error {
 	var c check
 	p := lbgraph.FigureParams(2)
 	f, err := lbgraph.NewQuadratic(p)
@@ -202,7 +201,7 @@ func runFigure4(w io.Writer) error {
 	return c.err()
 }
 
-func runFigure5(w io.Writer) error {
+func runFigure5(w *Ctx) error {
 	var c check
 	p := lbgraph.FigureParams(2)
 	f, err := lbgraph.NewQuadratic(p)
@@ -232,7 +231,7 @@ func runFigure5(w io.Writer) error {
 	return c.err()
 }
 
-func runFigure6(w io.Writer) error {
+func runFigure6(w *Ctx) error {
 	var c check
 	p := lbgraph.FigureParams(2)
 	f, err := lbgraph.NewQuadratic(p)

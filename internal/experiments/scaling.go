@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
 
 	"congestlb/internal/bitvec"
@@ -25,7 +24,7 @@ func init() {
 	})
 }
 
-func runScaling(w io.Writer) error {
+func runScaling(w *Ctx) error {
 	var c check
 	rng := rand.New(rand.NewSource(73))
 	tab := newTable("params", "n", "k", "∣cut∣", "rounds T", "blackboard bits", "bound T·∣cut∣·B", "utilisation")
@@ -44,7 +43,7 @@ func runScaling(w io.Writer) error {
 		}
 		// CollectSolve keeps the sweep fast: its traffic rides the BFS
 		// tree instead of flooding every edge.
-		report, err := core.Simulate(l, in, core.CollectPrograms, core.WitnessOpt, congest.Config{Seed: 11})
+		report, err := core.Simulate(l, in, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 11})
 		if err != nil {
 			return err
 		}

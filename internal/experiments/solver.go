@@ -2,13 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"math/rand"
 
 	"congestlb/internal/bitvec"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
-	"congestlb/internal/mis/cache"
 )
 
 // The solver experiment is an ablation of our own verification engine: the
@@ -26,7 +24,7 @@ func init() {
 	})
 }
 
-func runSolver(w io.Writer) error {
+func runSolver(w *Ctx) error {
 	var c check
 	tab := newTable("params", "n", "case", "steps (natural cover)", "steps (greedy cover)", "same optimum")
 	rng := rand.New(rand.NewSource(59))
@@ -58,11 +56,11 @@ func runSolver(w io.Writer) error {
 			if err != nil {
 				return err
 			}
-			natural, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+			natural, err := w.Solve.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
 			if err != nil {
 				return err
 			}
-			greedy, err := cache.Exact(inst.Graph, mis.Options{})
+			greedy, err := w.Solve.Exact(inst.Graph, mis.Options{})
 			if err != nil {
 				return err
 			}

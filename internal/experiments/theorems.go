@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"io"
 	"math"
 	"math/rand"
 
@@ -51,7 +50,7 @@ func init() {
 	})
 }
 
-func runTheorem1(w io.Writer) error {
+func runTheorem1(w *Ctx) error {
 	var c check
 	// The asymptotic table: the paper's bound across network sizes, next
 	// to the bound Bachrach et al. had at the weaker approximation factor.
@@ -95,7 +94,7 @@ func runTheorem1(w io.Writer) error {
 	return c.err()
 }
 
-func runTheorem2(w io.Writer) error {
+func runTheorem2(w *Ctx) error {
 	var c check
 	asym := newTable("n", "Ω(n²/log³n) (Thm 2, 3/4+ε)", "Ω(n²/log⁷n) (prior, 7/8+ε)", "O(n²) universal upper bound")
 	for _, exp := range []int{10, 14, 18, 22} {
@@ -132,7 +131,7 @@ func runTheorem2(w io.Writer) error {
 	return c.err()
 }
 
-func runTheorem3(w io.Writer) error {
+func runTheorem3(w *Ctx) error {
 	var c check
 	tab := newTable("k", "t", "Ω(k/(t log t)) bits", "write-all cost t·k", "probe cost k+1", "protocols correct")
 	rng := rand.New(rand.NewSource(23))
@@ -206,7 +205,7 @@ func runTheorem3(w io.Writer) error {
 	return c.err()
 }
 
-func runTheorem5(w io.Writer) error {
+func runTheorem5(w *Ctx) error {
 	var c check
 	p := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
 	l, err := lbgraph.NewLinear(p)
@@ -220,8 +219,8 @@ func runTheorem5(w io.Writer) error {
 		factory core.ProgramFactory
 		extract core.OptExtractor
 	}{
-		{name: "GossipExact", factory: core.GossipPrograms, extract: core.GossipOpt},
-		{name: "CollectSolve", factory: core.CollectPrograms, extract: core.WitnessOpt},
+		{name: "GossipExact", factory: core.GossipProgramsWith(w.Solve), extract: core.GossipOpt},
+		{name: "CollectSolve", factory: core.CollectProgramsWith(w.Solve), extract: core.WitnessOpt},
 	}
 	for _, tc := range []struct {
 		name      string
@@ -259,7 +258,7 @@ func runTheorem5(w io.Writer) error {
 	return c.err()
 }
 
-func runCutSize(w io.Writer) error {
+func runCutSize(w *Ctx) error {
 	var c check
 	tab := newTable("params", "k", "measured ∣cut∣", "paper claim t²log²k", "counted t(t−1)/2·M·q(q−1)", "measured/claim")
 	for _, p := range []lbgraph.Params{

@@ -12,7 +12,10 @@
 // solve in progress instead of racing their own. Hit/miss/eviction and
 // branch-and-bound step counters are exposed for the experiment runner's
 // JSON result envelope and for tests asserting the one-solve-per-distinct-
-// graph property.
+// graph property. Per-caller exact attribution of that traffic is
+// available through Session views; SetDir attaches a persistent
+// content-addressed disk tier (see disk.go) that survives the process, so
+// repeated suite runs skip branch-and-bound entirely.
 //
 // A process-wide Shared instance backs the package-level Exact function,
 // which the CONGEST programs and the experiment suite call in place of
@@ -57,8 +60,20 @@ type Stats struct {
 	// actually performed.
 	StepsSolved int64 `json:"steps_solved"`
 	// StepsSaved sums the steps of the cached solutions returned on hits —
-	// the work the cache avoided.
+	// the work the cache avoided. Solves served from the disk tier count
+	// here too: their branch-and-bound ran in some earlier process.
 	StepsSaved int64 `json:"steps_saved"`
+
+	// DiskHits counts in-memory misses served by the persistent disk tier
+	// (cmd/experiments -cache-dir); DiskMisses counts lookups that reached
+	// a configured tier and found nothing valid (corrupt entries are
+	// discarded and land here). Both stay zero with no tier attached.
+	DiskHits   uint64 `json:"disk_hits,omitempty"`
+	DiskMisses uint64 `json:"disk_misses,omitempty"`
+	// DiskWrites counts solutions persisted; DiskEvictions counts entries
+	// the tier's size bound deleted.
+	DiskWrites    uint64 `json:"disk_writes,omitempty"`
+	DiskEvictions uint64 `json:"disk_evictions,omitempty"`
 }
 
 // entry is one cached (or in-flight) solve. ready is closed once sol/err
@@ -80,6 +95,7 @@ type Cache struct {
 	index    map[Key]*list.Element
 	lru      *list.List // front = most recently used; values are *entry
 	stats    Stats
+	disk     *diskTier // nil until SetDir attaches the persistent tier
 }
 
 // New returns an empty cache bounded to the given number of entries
@@ -103,17 +119,27 @@ func New(capacity int) *Cache {
 // clique cover cannot be canonicalised (malformed covers mis.Exact will
 // reject anyway) bypass the cache entirely.
 func (c *Cache) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
+	return c.exact(g, opts, nil)
+}
+
+// exact is the session-aware lookup behind Exact and Session.Exact: every
+// counter event lands in the cache's stats and, when sess is non-nil, in
+// the session's — giving callers exact attribution of the traffic they
+// generated even while other goroutines share the cache.
+func (c *Cache) exact(g *graphs.Graph, opts mis.Options, sess *Session) (mis.Solution, error) {
 	key, ok := KeyOf(g, opts)
 	if !ok {
 		return mis.Exact(g, opts)
 	}
 
 	c.mu.Lock()
+	disk := c.disk
 	if el, found := c.index[key]; found {
 		e := el.Value.(*entry)
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
 		c.mu.Unlock()
+		sess.record(func(st *Stats) { st.Hits++ })
 		<-e.ready
 		if e.err != nil {
 			return clone(e.sol), e.err
@@ -121,6 +147,7 @@ func (c *Cache) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
 		c.mu.Lock()
 		c.stats.StepsSaved += e.sol.Steps
 		c.mu.Unlock()
+		sess.record(func(st *Stats) { st.StepsSaved += e.sol.Steps })
 		return clone(e.sol), nil
 	}
 	e := &entry{key: key, ready: make(chan struct{})}
@@ -129,8 +156,46 @@ func (c *Cache) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
 	c.stats.Misses++
 	c.evictLocked()
 	c.mu.Unlock()
+	sess.record(func(st *Stats) { st.Misses++ })
 
-	sol, err := mis.Exact(g, opts)
+	// In-memory miss: try the persistent tier before paying for a solve.
+	var sol mis.Solution
+	var err error
+	fromDisk := false
+	if disk != nil {
+		sol, fromDisk = disk.load(key, g)
+		c.mu.Lock()
+		if fromDisk {
+			c.stats.DiskHits++
+			c.stats.StepsSaved += sol.Steps
+		} else {
+			c.stats.DiskMisses++
+		}
+		c.mu.Unlock()
+		sess.record(func(st *Stats) {
+			if fromDisk {
+				st.DiskHits++
+				st.StepsSaved += sol.Steps
+			} else {
+				st.DiskMisses++
+			}
+		})
+	}
+	if !fromDisk {
+		sol, err = mis.Exact(g, opts)
+		if err == nil && disk != nil {
+			if evicted, werr := disk.store(key, sol); werr == nil {
+				c.mu.Lock()
+				c.stats.DiskWrites++
+				c.stats.DiskEvictions += uint64(evicted)
+				c.mu.Unlock()
+				sess.record(func(st *Stats) {
+					st.DiskWrites++
+					st.DiskEvictions += uint64(evicted)
+				})
+			}
+		}
+	}
 
 	c.mu.Lock()
 	e.sol, e.err, e.done = sol, err, true
@@ -141,12 +206,46 @@ func (c *Cache) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
 			c.lru.Remove(el)
 			delete(c.index, key)
 		}
-	} else {
+	} else if !fromDisk {
 		c.stats.StepsSolved += sol.Steps
 	}
 	c.mu.Unlock()
+	if err == nil && !fromDisk {
+		sess.record(func(st *Stats) { st.StepsSolved += sol.Steps })
+	}
 	close(e.ready)
 	return clone(sol), err
+}
+
+// SetDir attaches (or, with an empty dir, detaches) the persistent on-disk
+// tier. Entries a previous process left in dir become immediately
+// servable; maxBytes bounds the tier's total size (0 = DefaultDiskBytes).
+// Attaching is not retroactive for in-flight solves.
+func (c *Cache) SetDir(dir string, maxBytes int64) error {
+	if dir == "" {
+		c.mu.Lock()
+		c.disk = nil
+		c.mu.Unlock()
+		return nil
+	}
+	d, err := newDiskTier(dir, maxBytes)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+	return nil
+}
+
+// DiskDir reports the attached disk tier's directory ("" when none).
+func (c *Cache) DiskDir() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disk == nil {
+		return ""
+	}
+	return c.disk.dir
 }
 
 // evictLocked trims the LRU to capacity, skipping in-flight entries (they
@@ -176,7 +275,8 @@ func (c *Cache) Stats() Stats {
 	return s
 }
 
-// Reset drops every entry and zeroes the counters. In-flight solves
+// Reset drops every in-memory entry and zeroes the counters; an attached
+// disk tier keeps its files (detach with SetDir("")). In-flight solves
 // complete normally but are not re-inserted observable-y: their entries
 // are simply no longer indexed.
 func (c *Cache) Reset() {

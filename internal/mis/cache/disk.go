@@ -1,0 +1,252 @@
+// Persistent on-disk tier of the solve cache.
+//
+// Entries are content-addressed by the same SHA-256 canonical hash as the
+// in-memory tier, one JSON file per solve named <hex(key)>.json. Files are
+// written atomically (temp file + rename) so a crashed or concurrent
+// writer can never leave a half-entry that parses; on load every entry is
+// re-validated against the live graph (schema, key, independence, weight),
+// so truncated or garbage files — however they got there — are discarded
+// and fall back to a fresh solve. The tier is size-bounded: when the byte
+// budget is exceeded, least-recently-used entries (by load/store recency,
+// seeded from file mtime at attach time) are deleted.
+//
+// The point of the tier is cross-process reuse: a second experiment-suite
+// run, a CI re-run or a benchmark iteration with the same -cache-dir skips
+// branch-and-bound entirely for every graph the previous process already
+// solved.
+package cache
+
+import (
+	"container/list"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"congestlb/internal/graphs"
+	"congestlb/internal/mis"
+)
+
+// diskSchema identifies the entry format; bump on incompatible change (old
+// entries then fail validation and are re-solved, never mis-read).
+const diskSchema = "congestlb/solve-cache/v1"
+
+// DefaultDiskBytes is the disk tier's default size bound. Entries are a
+// few hundred bytes (a node-ID list plus counters), so this comfortably
+// holds every distinct solve the experiment suite can produce.
+const DefaultDiskBytes int64 = 64 << 20
+
+// diskEntry is the JSON schema of one persisted solve.
+type diskEntry struct {
+	Schema string `json:"schema"`
+	// Key is the hex canonical hash, duplicated inside the file so a
+	// renamed or copied entry cannot impersonate another solve.
+	Key    string          `json:"key"`
+	Weight int64           `json:"weight"`
+	Steps  int64           `json:"steps"`
+	Set    []graphs.NodeID `json:"set"`
+}
+
+// diskTier is the bookkeeping over one directory. The lock guards only
+// the recency index — file I/O, JSON codecs and witness verification all
+// run outside it, so concurrent jobs missing on different keys do not
+// serialise behind each other's disk reads (atomic rename already makes
+// the files themselves safe) — and it is never taken while the owning
+// Cache's lock is held.
+type diskTier struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	index map[Key]*list.Element
+	lru   *list.List // front = most recently used; values are *diskFile
+	bytes int64
+}
+
+type diskFile struct {
+	key  Key
+	size int64
+}
+
+// newDiskTier attaches a directory, creating it if needed and indexing any
+// entries a previous process left behind (recency seeded from mtime).
+func newDiskTier(dir string, maxBytes int64) (*diskTier, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultDiskBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: disk tier: %w", err)
+	}
+	d := &diskTier{
+		dir:      dir,
+		maxBytes: maxBytes,
+		index:    make(map[Key]*list.Element),
+		lru:      list.New(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: disk tier: %w", err)
+	}
+	type seen struct {
+		key   Key
+		size  int64
+		mtime time.Time
+	}
+	var found []seen
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".json"))
+		if err != nil || len(raw) != len(Key{}) {
+			continue // foreign file; leave it alone
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		var k Key
+		copy(k[:], raw)
+		found = append(found, seen{key: k, size: info.Size(), mtime: info.ModTime()})
+	}
+	// Oldest first so the LRU ends up newest-at-front.
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime.Before(found[j].mtime) })
+	for _, f := range found {
+		d.index[f.key] = d.lru.PushFront(&diskFile{key: f.key, size: f.size})
+		d.bytes += f.size
+	}
+	return d, nil
+}
+
+func (d *diskTier) path(key Key) string {
+	return filepath.Join(d.dir, hex.EncodeToString(key[:])+".json")
+}
+
+// load returns the persisted solution for key if a valid entry exists.
+// Anything that fails validation — wrong schema, key mismatch, a set that
+// is not independent in g or whose weight disagrees — is deleted and
+// reported as a miss, so corruption degrades to a re-solve, never to a
+// wrong answer.
+func (d *diskTier) load(key Key, g *graphs.Graph) (mis.Solution, bool) {
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return mis.Solution{}, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		d.discard(key, path)
+		return mis.Solution{}, false
+	}
+	if e.Schema != diskSchema || e.Key != hex.EncodeToString(key[:]) {
+		d.discard(key, path)
+		return mis.Solution{}, false
+	}
+	weight, err := mis.Verify(g, e.Set)
+	if err != nil || weight != e.Weight {
+		d.discard(key, path)
+		return mis.Solution{}, false
+	}
+	d.mu.Lock()
+	d.touch(key, int64(len(data)))
+	d.mu.Unlock()
+	// Refresh mtime so a future process's recency seed sees the use.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
+	set := append([]graphs.NodeID(nil), e.Set...)
+	sort.Ints(set)
+	return mis.Solution{Set: set, Weight: e.Weight, Optimal: true, Steps: e.Steps}, true
+}
+
+// store persists an optimal solution atomically and returns how many old
+// entries the size bound evicted.
+func (d *diskTier) store(key Key, sol mis.Solution) (evicted int, err error) {
+	e := diskEntry{
+		Schema: diskSchema,
+		Key:    hex.EncodeToString(key[:]),
+		Weight: sol.Weight,
+		Steps:  sol.Steps,
+		Set:    sol.Set,
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return 0, err
+	}
+	d.mu.Lock()
+	d.touch(key, int64(len(data)))
+	victims := d.evictLocked(key)
+	d.mu.Unlock()
+	for _, path := range victims {
+		_ = os.Remove(path)
+	}
+	return len(victims), nil
+}
+
+// touch records (key, size) as most recently used; callers hold d.mu.
+func (d *diskTier) touch(key Key, size int64) {
+	if el, ok := d.index[key]; ok {
+		f := el.Value.(*diskFile)
+		d.bytes += size - f.size
+		f.size = size
+		d.lru.MoveToFront(el)
+		return
+	}
+	d.index[key] = d.lru.PushFront(&diskFile{key: key, size: size})
+	d.bytes += size
+}
+
+// discard drops a corrupt entry from disk and the index.
+func (d *diskTier) discard(key Key, path string) {
+	_ = os.Remove(path)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if el, ok := d.index[key]; ok {
+		d.bytes -= el.Value.(*diskFile).size
+		d.lru.Remove(el)
+		delete(d.index, key)
+	}
+}
+
+// evictLocked unindexes least-recently-used entries until the byte budget
+// holds, never evicting the entry just touched (keep), and returns the
+// victims' paths for the caller to delete outside the lock. Callers hold
+// d.mu.
+func (d *diskTier) evictLocked(keep Key) []string {
+	var victims []string
+	for d.bytes > d.maxBytes && d.lru.Len() > 1 {
+		el := d.lru.Back()
+		f := el.Value.(*diskFile)
+		if f.key == keep {
+			// keep is the only remaining candidate at the back; stop.
+			break
+		}
+		victims = append(victims, d.path(f.key))
+		d.bytes -= f.size
+		d.lru.Remove(el)
+		delete(d.index, f.key)
+	}
+	return victims
+}

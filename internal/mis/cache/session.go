@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"sync"
+
+	"congestlb/internal/graphs"
+	"congestlb/internal/mis"
+)
+
+// Session is a per-caller view of a Cache: it forwards every solve to the
+// underlying cache (the process-wide Shared one by default) while keeping
+// its own exact event counters, and applies a default solver worker count
+// to solves that do not pin one.
+//
+// Sessions exist for attribution. The runner's experiment jobs all meet in
+// the one shared cache, so diffing the process-global counters around a job
+// misattributes whatever concurrent jobs did in the window; handing each
+// job its own Session makes the per-experiment cache/step numbers in the
+// JSON envelope exact at any -jobs count. With single-flight dedup, the
+// session that runs a solve books its steps under StepsSolved while every
+// session served by someone else's solve books them under StepsSaved.
+//
+// A nil *Session is valid: it behaves exactly like the package-level Exact
+// with no local accounting, so deep callers (the CONGEST node programs) can
+// be handed "no session" without branching.
+type Session struct {
+	c       *Cache // nil = the Shared cache, resolved at call time
+	workers int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewSession returns a session over c (nil = the Shared cache) whose solves
+// default to the given solver worker count (0 = leave Options.Workers
+// alone).
+func NewSession(c *Cache, workers int) *Session {
+	return &Session{c: c, workers: workers}
+}
+
+// Workers reports the solver worker count this session stamps onto solves.
+func (s *Session) Workers() int {
+	if s == nil {
+		return 0
+	}
+	return s.workers
+}
+
+// Stats returns a snapshot of the session's counters. Entries is always 0:
+// occupancy belongs to the cache, not to a view of it.
+func (s *Session) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// record applies a counter mutation; safe on a nil session (no-op).
+func (s *Session) record(f func(*Stats)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// Exact solves through the session: the underlying cache serves or runs the
+// solve, the session books the traffic. On a nil session this is exactly
+// the package-level Exact.
+func (s *Session) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
+	if s == nil {
+		return Exact(g, opts)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.workers
+	}
+	c := s.c
+	if c == nil {
+		if !enabled.Load() {
+			// Shared-cache fast path switched off (tests): solve directly
+			// but keep the attribution exact.
+			sol, err := mis.Exact(g, opts)
+			s.record(func(st *Stats) {
+				st.Misses++
+				if err == nil {
+					st.StepsSolved += sol.Steps
+				}
+			})
+			return sol, err
+		}
+		c = shared
+	}
+	return c.exact(g, opts, s)
+}

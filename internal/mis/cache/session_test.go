@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"congestlb/internal/graphs"
+	"congestlb/internal/mis"
+)
+
+// TestSessionExactAttribution is the satellite property the runner relies
+// on: concurrent sessions over one cache each see exactly their own
+// traffic, and the per-session counters sum to the cache totals.
+func TestSessionExactAttribution(t *testing.T) {
+	c := New(32)
+	const sessions = 4
+	const solvesPer = 6
+	// Each session gets its own family of graphs plus one graph shared by
+	// everyone, so both distinct and contended keys are exercised.
+	shared := randomGraph(16, 0.3, 5, rand.New(rand.NewSource(7)))
+	graphsBySession := make([][]*graphs.Graph, sessions)
+	for si := range graphsBySession {
+		for j := 0; j < solvesPer; j++ {
+			graphsBySession[si] = append(graphsBySession[si],
+				randomGraph(12+si, 0.3, 5, rand.New(rand.NewSource(int64(100*si+j)))))
+		}
+	}
+
+	sess := make([]*Session, sessions)
+	var wg sync.WaitGroup
+	for si := 0; si < sessions; si++ {
+		sess[si] = NewSession(c, 0)
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			for _, g := range graphsBySession[si] {
+				if _, err := sess[si].Exact(g, mis.Options{}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := sess[si].Exact(shared, mis.Options{}); err != nil {
+				t.Error(err)
+			}
+		}(si)
+	}
+	wg.Wait()
+
+	var sum Stats
+	for si := 0; si < sessions; si++ {
+		st := sess[si].Stats()
+		if st.Hits+st.Misses != solvesPer+1 {
+			t.Fatalf("session %d saw %d lookups, did %d", si, st.Hits+st.Misses, solvesPer+1)
+		}
+		sum.Hits += st.Hits
+		sum.Misses += st.Misses
+		sum.StepsSolved += st.StepsSolved
+		sum.StepsSaved += st.StepsSaved
+	}
+	total := c.Stats()
+	if sum.Hits != total.Hits || sum.Misses != total.Misses {
+		t.Fatalf("session sums %+v disagree with cache totals %+v", sum, total)
+	}
+	if sum.StepsSolved != total.StepsSolved || sum.StepsSaved != total.StepsSaved {
+		t.Fatalf("step attribution leaked: sessions %+v, cache %+v", sum, total)
+	}
+}
+
+// TestSessionStampsWorkers pins the Options.Workers threading: a session
+// built with a worker count applies it to solves that left Workers at 0
+// and never overrides an explicit choice.
+func TestSessionStampsWorkers(t *testing.T) {
+	// Workers does not enter the cache key, so the same graph solved under
+	// different session worker defaults must be one miss + one hit.
+	c := New(8)
+	g := randomGraph(14, 0.3, 5, rand.New(rand.NewSource(3)))
+	s2 := NewSession(c, 2)
+	s8 := NewSession(c, 8)
+	a, err := s2.Exact(g, mis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s8.Exact(g, mis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Weight != b.Weight {
+		t.Fatalf("weights diverged across worker defaults: %d vs %d", a.Weight, b.Weight)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("Workers leaked into the cache key: %+v", st)
+	}
+	if s2.Workers() != 2 || s8.Workers() != 8 {
+		t.Fatalf("Workers() = %d, %d", s2.Workers(), s8.Workers())
+	}
+}
+
+// TestNilSessionDelegatesToShared keeps the nil-receiver contract deep
+// callers (CONGEST programs without a session) depend on.
+func TestNilSessionDelegatesToShared(t *testing.T) {
+	Shared().Reset()
+	defer Shared().Reset()
+	g := randomGraph(10, 0.4, 4, rand.New(rand.NewSource(9)))
+	var s *Session
+	if _, err := s.Exact(g, mis.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := Shared().Stats(); st.Misses != 1 {
+		t.Fatalf("nil session bypassed the shared cache: %+v", st)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil session has stats: %+v", st)
+	}
+	if s.Workers() != 0 {
+		t.Fatalf("nil session Workers() = %d", s.Workers())
+	}
+}
+
+// TestSessionUncachedFallback keeps attribution exact even when the shared
+// fast path is disabled (the configuration the cached-vs-uncached
+// comparison tests run under).
+func TestSessionUncachedFallback(t *testing.T) {
+	prev := SetEnabled(false)
+	defer SetEnabled(prev)
+	g := randomGraph(12, 0.35, 5, rand.New(rand.NewSource(17)))
+	s := NewSession(nil, 0)
+	sol, err := s.Exact(g, mis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("uncached fallback stats: %+v", st)
+	}
+	if st.StepsSolved != sol.Steps {
+		t.Fatalf("uncached fallback steps %d, want %d", st.StepsSolved, sol.Steps)
+	}
+}

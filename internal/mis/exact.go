@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"congestlb/internal/graphs"
 )
@@ -14,7 +17,8 @@ import (
 var ErrBudgetExceeded = errors.New("mis: search budget exceeded")
 
 // Options configures the Exact solver. The zero value is valid: a greedy
-// clique cover is computed and a default step budget applies.
+// clique cover is computed, a default step budget applies and the worker
+// count follows the package default.
 type Options struct {
 	// CliqueCover optionally supplies a partition of the nodes into
 	// cliques. The lower-bound constructions know their natural cover
@@ -23,16 +27,76 @@ type Options struct {
 	// and each part must be a clique in the graph.
 	CliqueCover [][]graphs.NodeID
 	// MaxSteps bounds the number of branch-and-bound nodes explored;
-	// 0 means the default (50 million).
+	// 0 means the default (50 million). The parallel engine accounts steps
+	// in batches, so it may overshoot the budget by at most
+	// Workers × stepFlushBatch before stopping.
 	MaxSteps int64
+	// Workers is the number of branch-and-bound workers exploring the
+	// search tree concurrently. 0 selects the package default
+	// (SetDefaultWorkers; GOMAXPROCS until overridden), 1 forces the
+	// sequential engine. Graphs below parallelMinNodes always solve
+	// sequentially — at that size goroutine startup costs more than the
+	// whole search. Optimal solutions are identical — weight and witness
+	// set — at every worker count: parallel witnesses are canonicalised to
+	// the sequential engine's. Only Solution.Steps (work performed, not
+	// part of the result) varies between parallel runs.
+	Workers int
 }
 
 const defaultMaxSteps = 50_000_000
+
+// parallelMinNodes gates the parallel engine: below this node count a
+// solve is microseconds of work and spawning workers would dominate it.
+const parallelMinNodes = 48
+
+// defaultWorkers holds the package-wide worker default applied when
+// Options.Workers is 0; 0 or negative means GOMAXPROCS at solve time.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers sets the worker count used by solves whose
+// Options.Workers is zero and returns the previous setting (0 meaning the
+// initial GOMAXPROCS-at-solve-time default). Pass 0 to restore that
+// default, 1 to force sequential solving process-wide.
+func SetDefaultWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(defaultWorkers.Swap(int64(n)))
+}
+
+// DefaultWorkers reports the current package default (0 = GOMAXPROCS at
+// solve time).
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// resolveWorkers turns an Options.Workers request into the effective
+// worker count for an n-node solve.
+func resolveWorkers(requested, n int) int {
+	if n < parallelMinNodes {
+		return 1
+	}
+	w := requested
+	if w <= 0 {
+		w = int(defaultWorkers.Load())
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // Exact computes a maximum-weight independent set by branch-and-bound with
 // a clique-cover upper bound: any independent set contains at most one node
 // per clique, so Σ_cliques max_{v ∈ P ∩ C} w(v) bounds what remains of the
 // candidate set P.
+//
+// With Workers > 1 (resolved per Options.Workers) the search tree is
+// explored by a pool of workers over a shared frame deque: every worker
+// prunes against the global incumbent, and the winning witness is
+// canonicalised afterwards, so results are deterministic at any worker
+// count.
 //
 // When the step budget runs out, Exact returns ErrBudgetExceeded together
 // with the best incumbent found so far (Optimal false) — a valid, possibly
@@ -50,107 +114,164 @@ func Exact(g *graphs.Graph, opts Options) (Solution, error) {
 	if maxSteps == 0 {
 		maxSteps = defaultMaxSteps
 	}
-
-	words := (n + 63) / 64
-	s := &exactSolver{
-		n:           n,
-		words:       words,
-		weights:     make([]int64, n),
-		closed:      make([][]uint64, n),
-		cover:       cover.id,
-		nCliques:    cover.count,
-		maxSteps:    maxSteps,
-		cliqueMax:   make([]int64, cover.count),
-		cliqueStamp: make([]int64, cover.count),
+	st := newExactState(g, cover, maxSteps)
+	if workers := resolveWorkers(opts.Workers, n); workers > 1 {
+		return exactParallel(st, workers)
 	}
-	for v := 0; v < n; v++ {
-		s.weights[v] = g.Weight(v)
-		row := make([]uint64, words)
-		copy(row, g.NeighborRow(v))
-		row[v/64] |= 1 << (uint(v) % 64)
-		s.closed[v] = row
-	}
-	// Seed the incumbent with a greedy solution so pruning bites early.
-	seed := Greedy(g, GreedyByRatio)
-	s.best = seed.Weight
-	s.bestSet = make([]uint64, words)
-	for _, v := range seed.Set {
-		s.bestSet[v/64] |= 1 << (uint(v) % 64)
-	}
-
-	// Buffers per recursion depth avoid per-call allocation.
-	s.bufP = make([][]uint64, n+1)
-	for d := range s.bufP {
-		s.bufP[d] = make([]uint64, words)
-	}
-	s.curSet = make([]uint64, words)
-
-	root := make([]uint64, words)
-	for v := 0; v < n; v++ {
-		root[v/64] |= 1 << (uint(v) % 64)
-	}
-	if err := s.search(root, 0, 0); err != nil {
-		// Budget exhausted: the incumbent (seeded with the greedy solution
-		// and only ever improved) is still a valid independent set, so
-		// return it with Optimal unset alongside the error. Budget-capped
-		// callers get a usable lower-bound witness instead of nothing.
-		return s.solution(false), err
-	}
-	return s.solution(true), nil
+	return exactSequential(st)
 }
 
-// solution materialises the solver's incumbent as a Solution.
-func (s *exactSolver) solution(optimal bool) Solution {
-	set := make([]graphs.NodeID, 0)
-	for v := 0; v < s.n; v++ {
-		if s.bestSet[v/64]&(1<<(uint(v)%64)) != 0 {
-			set = append(set, v)
-		}
-	}
-	sort.Ints(set)
-	return Solution{Set: set, Weight: s.best, Optimal: optimal, Steps: s.steps}
-}
-
-type exactSolver struct {
+// exactState is the read-mostly problem data plus the shared incumbent and
+// budget accounting of one Exact call. The sequential engine touches it
+// from a single goroutine; the parallel engine shares one instance between
+// its workers, which prune against the atomic incumbent weight and settle
+// improvements through the mutex.
+type exactState struct {
 	n, words int
 	weights  []int64
 	closed   [][]uint64 // closed[v] = {v} ∪ N(v) as a bitset
 	cover    []int      // clique id per node
 	nCliques int
 
-	best    int64
-	bestSet []uint64
-	curSet  []uint64
-
-	steps    int64
 	maxSteps int64
+	steps    atomic.Int64 // explored nodes; workers flush in batches
+	stop     atomic.Bool  // budget exhausted: every worker unwinds
+	// warmedUp gates donations: the first worker dives the root in
+	// sequential order for one step batch before the tree is split, so the
+	// incumbent is strong by the time top-level exclude branches start
+	// running concurrently — without this the early breadth costs a
+	// multiple of the sequential step count in lost pruning.
+	warmedUp atomic.Bool
 
-	bufP [][]uint64
+	best    atomic.Int64 // incumbent weight, read lock-free for pruning
+	mu      sync.Mutex   // guards bestSet and best-improvement ordering
+	bestSet []uint64
+	// seedWeight is the greedy incumbent the search started from. When the
+	// search never improves on it, both engines return the seed set
+	// itself, so the parallel engine must not canonicalise in that case
+	// (the canonical DFS prefix is generally a different optimal set).
+	seedWeight int64
+}
 
-	// Stamped scratch for the clique bound, avoiding clears per call.
+// newExactState builds the shared solver state and seeds the incumbent
+// with a greedy solution so pruning bites early.
+func newExactState(g *graphs.Graph, cover coverInfo, maxSteps int64) *exactState {
+	n := g.N()
+	words := (n + 63) / 64
+	st := &exactState{
+		n:        n,
+		words:    words,
+		weights:  make([]int64, n),
+		closed:   make([][]uint64, n),
+		cover:    cover.id,
+		nCliques: cover.count,
+		maxSteps: maxSteps,
+		bestSet:  make([]uint64, words),
+	}
+	for v := 0; v < n; v++ {
+		st.weights[v] = g.Weight(v)
+		row := make([]uint64, words)
+		copy(row, g.NeighborRow(v))
+		row[v/64] |= 1 << (uint(v) % 64)
+		st.closed[v] = row
+	}
+	seed := Greedy(g, GreedyByRatio)
+	st.best.Store(seed.Weight)
+	st.seedWeight = seed.Weight
+	for _, v := range seed.Set {
+		st.bestSet[v/64] |= 1 << (uint(v) % 64)
+	}
+	return st
+}
+
+// rootCandidates returns the full candidate bitset.
+func (st *exactState) rootCandidates() []uint64 {
+	root := make([]uint64, st.words)
+	for v := 0; v < st.n; v++ {
+		root[v/64] |= 1 << (uint(v) % 64)
+	}
+	return root
+}
+
+// offerIncumbent installs (cur, set) as the incumbent if it still beats the
+// best known weight. The double check under the mutex serialises racing
+// improvements; pruning reads st.best lock-free and may be momentarily
+// stale, which only costs wasted work, never correctness.
+func (st *exactState) offerIncumbent(cur int64, set []uint64) {
+	st.mu.Lock()
+	if cur > st.best.Load() {
+		st.best.Store(cur)
+		copy(st.bestSet, set)
+	}
+	st.mu.Unlock()
+}
+
+// solution materialises the incumbent as a Solution.
+func (st *exactState) solution(optimal bool, steps int64) Solution {
+	set := make([]graphs.NodeID, 0)
+	for v := 0; v < st.n; v++ {
+		if st.bestSet[v/64]&(1<<(uint(v)%64)) != 0 {
+			set = append(set, v)
+		}
+	}
+	sort.Ints(set)
+	return Solution{Set: set, Weight: st.best.Load(), Optimal: optimal, Steps: steps}
+}
+
+// searcher is the per-worker search machinery: per-depth candidate buffers,
+// the current chosen-set bitset, and the stamped clique-bound scratch. Each
+// worker owns its own searcher — the clique scratch is written on every
+// bound() call and would race if it lived on the shared state (where the
+// sequential solver used to keep it).
+type searcher struct {
+	st   *exactState
+	pool *workPool // nil for the sequential engine
+
+	curSet []uint64
+	bufP   [][]uint64 // per-depth candidate buffers, no per-call allocation
+
 	cliqueMax   []int64
 	cliqueStamp []int64
 	stamp       int64
+
+	localSteps int64 // steps not yet flushed to st.steps
+	canonSteps int64 // nodes visited by the canonicalisation pass
+}
+
+func newSearcher(st *exactState, pool *workPool) *searcher {
+	w := &searcher{
+		st:          st,
+		pool:        pool,
+		curSet:      make([]uint64, st.words),
+		bufP:        make([][]uint64, st.n+1),
+		cliqueMax:   make([]int64, st.nCliques),
+		cliqueStamp: make([]int64, st.nCliques),
+	}
+	for d := range w.bufP {
+		w.bufP[d] = make([]uint64, st.words)
+	}
+	return w
 }
 
 // bound returns the clique-cover upper bound on the weight obtainable from
 // the candidate set P.
-func (s *exactSolver) bound(p []uint64) int64 {
-	s.stamp++
+func (w *searcher) bound(p []uint64) int64 {
+	w.stamp++
+	st := w.st
 	var total int64
-	for wi, w := range p {
-		for w != 0 {
-			b := bits.TrailingZeros64(w)
+	for wi, word := range p {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
 			v := wi*64 + b
-			w &= w - 1
-			c := s.cover[v]
-			if s.cliqueStamp[c] != s.stamp {
-				s.cliqueStamp[c] = s.stamp
-				s.cliqueMax[c] = s.weights[v]
-				total += s.weights[v]
-			} else if s.weights[v] > s.cliqueMax[c] {
-				total += s.weights[v] - s.cliqueMax[c]
-				s.cliqueMax[c] = s.weights[v]
+			word &= word - 1
+			c := st.cover[v]
+			if w.cliqueStamp[c] != w.stamp {
+				w.cliqueStamp[c] = w.stamp
+				w.cliqueMax[c] = st.weights[v]
+				total += st.weights[v]
+			} else if st.weights[v] > w.cliqueMax[c] {
+				total += st.weights[v] - w.cliqueMax[c]
+				w.cliqueMax[c] = st.weights[v]
 			}
 		}
 	}
@@ -159,52 +280,70 @@ func (s *exactSolver) bound(p []uint64) int64 {
 
 // pickBranchNode returns the maximum-weight node in P (first by weight,
 // then by lowest index), or -1 if P is empty.
-func (s *exactSolver) pickBranchNode(p []uint64) int {
+func (w *searcher) pickBranchNode(p []uint64) int {
+	st := w.st
 	bestV := -1
 	var bestW int64
-	for wi, w := range p {
-		for w != 0 {
-			b := bits.TrailingZeros64(w)
+	for wi, word := range p {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
 			v := wi*64 + b
-			w &= w - 1
-			if bestV == -1 || s.weights[v] > bestW {
-				bestV, bestW = v, s.weights[v]
+			word &= word - 1
+			if bestV == -1 || st.weights[v] > bestW {
+				bestV, bestW = v, st.weights[v]
 			}
 		}
 	}
 	return bestV
 }
 
-func (s *exactSolver) search(p []uint64, cur int64, depth int) error {
-	s.steps++
-	if s.steps > s.maxSteps {
-		return fmt.Errorf("%w after %d steps", ErrBudgetExceeded, s.steps)
+// exactSequential runs the single-goroutine engine: the exact code path
+// (and step accounting) the solver always had.
+func exactSequential(st *exactState) (Solution, error) {
+	w := newSearcher(st, nil)
+	err := w.searchSeq(st.rootCandidates(), 0, 0)
+	st.steps.Store(w.localSteps)
+	if err != nil {
+		// Budget exhausted: the incumbent (seeded with the greedy solution
+		// and only ever improved) is still a valid independent set, so
+		// return it with Optimal unset alongside the error. Budget-capped
+		// callers get a usable lower-bound witness instead of nothing.
+		return st.solution(false, w.localSteps), err
 	}
-	if cur > s.best {
-		s.best = cur
-		copy(s.bestSet, s.curSet)
+	return st.solution(true, w.localSteps), nil
+}
+
+func (w *searcher) searchSeq(p []uint64, cur int64, depth int) error {
+	st := w.st
+	w.localSteps++
+	if w.localSteps > st.maxSteps {
+		return fmt.Errorf("%w after %d steps", ErrBudgetExceeded, w.localSteps)
 	}
-	v := s.pickBranchNode(p)
+	if cur > st.best.Load() {
+		st.best.Store(cur)
+		copy(st.bestSet, w.curSet)
+	}
+	v := w.pickBranchNode(p)
 	if v == -1 {
 		return nil
 	}
-	if cur+s.bound(p) <= s.best {
+	if cur+w.bound(p) <= st.best.Load() {
 		return nil
 	}
 	// Branch 1: include v.
-	child := s.bufP[depth]
+	child := w.bufP[depth]
 	for i := range child {
-		child[i] = p[i] &^ s.closed[v][i]
+		child[i] = p[i] &^ st.closed[v][i]
 	}
-	s.curSet[v/64] |= 1 << (uint(v) % 64)
-	if err := s.search(child, cur+s.weights[v], depth+1); err != nil {
+	w.curSet[v/64] |= 1 << (uint(v) % 64)
+	if err := w.searchSeq(child, cur+st.weights[v], depth+1); err != nil {
 		return err
 	}
-	s.curSet[v/64] &^= 1 << (uint(v) % 64)
+	w.curSet[v/64] &^= 1 << (uint(v) % 64)
 	// Branch 2: exclude v. Mutating p in place is safe: the parent frame
 	// never re-reads its candidate set after this call.
 	p[v/64] &^= 1 << (uint(v) % 64)
-	return s.search(p, cur, depth)
+	return w.searchSeq(p, cur, depth)
 }
 
 type coverInfo struct {

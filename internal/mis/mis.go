@@ -37,7 +37,9 @@ type Solution struct {
 	Optimal bool
 	// Steps counts the branch-and-bound nodes explored by Exact (0 for
 	// the other solvers); it quantifies how much pruning the clique-cover
-	// bound bought.
+	// bound bought. Deterministic for sequential solves; for parallel
+	// solves (Options.Workers > 1) it varies run to run with incumbent
+	// timing, unlike Set and Weight which are canonical.
 	Steps int64
 }
 

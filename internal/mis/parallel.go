@@ -1,0 +1,400 @@
+package mis
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Parallel branch-and-bound engine.
+//
+// The search tree is explored by a pool of workers over a shared
+// best-first deque of subproblem frames (candidate bitset, chosen-set
+// bitset, accumulated weight, clique-bound ceiling). Every worker runs the
+// same depth-first search as the sequential engine over its own scratch
+// buffers; when the pool runs dry (a worker goes idle), busy workers
+// donate the exclude branch of their current node — the largest pending
+// subproblem they hold — instead of iterating it in place. Donation at the
+// top of the tree splits the biggest subtrees first, so the pool saturates
+// after a handful of donations without any upfront partitioning pass, and
+// the highest-ceiling frame is handed out first so the incumbent converges
+// quickly (see frame.pri).
+//
+// Correctness and determinism:
+//
+//   - The incumbent weight lives in an atomic read lock-free on every
+//     prune; improvements re-check under a mutex before installing, so a
+//     stale read can only cost wasted exploration, never a wrong result.
+//   - The search is exhaustive modulo sound pruning at every worker count,
+//     so the returned optimal weight is always identical to the
+//     sequential engine's.
+//   - Which optimal witness the race happens to keep is schedule-dependent,
+//     so after the search proves optimality a sequential canonicalisation
+//     pass (see canonicalize) replaces the incumbent set with the witness
+//     the sequential engine would return — making the returned Set and
+//     Weight deterministic (and engine-independent) at any worker count.
+//     Solution.Steps is the one schedule-dependent field: how many nodes
+//     the pruning races away varies run to run once donation engages.
+//   - Step budgeting is an atomic counter workers flush every
+//     stepFlushBatch nodes; overshoot is bounded by workers × batch. On
+//     exhaustion every worker unwinds and the incumbent is returned with
+//     ErrBudgetExceeded, exactly like the sequential engine.
+
+const (
+	// stepFlushBatch is how many locally-counted search nodes a worker
+	// explores between flushes into the shared atomic step counter (and
+	// budget checks).
+	stepFlushBatch = 1024
+	// donateMinCandidates is the smallest candidate-set population worth
+	// donating: smaller subproblems finish faster locally than the
+	// lock + copy + wake of a handoff.
+	donateMinCandidates = 8
+)
+
+// frame is one queued subproblem: the candidate set still to explore, the
+// chosen set on the path to it, and that path's accumulated weight. pri is
+// the subproblem's optimistic ceiling cur + bound(p): frames are handed
+// out best-first, so the subtree that can still contain the optimum runs
+// earliest, the incumbent converges fast, and the pruning loss that plagues
+// breadth-ordered parallel branch-and-bound stays small.
+type frame struct {
+	p   []uint64
+	set []uint64
+	cur int64
+	pri int64
+}
+
+// workPool is the shared frame deque plus termination bookkeeping.
+type workPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	frames  frameHeap // max-heap on pri: best-first handout
+	free    []*frame  // recycled frame buffers
+	pending int       // queued + popped-but-unfinished frames
+	idle    int       // workers blocked in pop
+	workers int
+	aborted bool // budget blown: pop drains immediately
+
+	// wantDonations is the lock-free "please donate" signal workers poll on
+	// every exclude branch: true when someone is idle or the queue is
+	// shallow.
+	wantDonations atomic.Bool
+}
+
+func newWorkPool(workers int) *workPool {
+	wp := &workPool{workers: workers}
+	wp.cond = sync.NewCond(&wp.mu)
+	return wp
+}
+
+// frameHeap is a max-heap of frames by pri (container/heap shape, inlined
+// to keep push/pop free of interface boxing).
+type frameHeap []*frame
+
+func (h *frameHeap) push(f *frame) {
+	*h = append(*h, f)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent].pri >= (*h)[i].pri {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *frameHeap) pop() *frame {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && (*h)[l].pri > (*h)[largest].pri {
+			largest = l
+		}
+		if r < n && (*h)[r].pri > (*h)[largest].pri {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		(*h)[i], (*h)[largest] = (*h)[largest], (*h)[i]
+		i = largest
+	}
+	return top
+}
+
+// updateHungryLocked recomputes the donation signal; callers hold wp.mu.
+func (wp *workPool) updateHungryLocked() {
+	wp.wantDonations.Store(wp.idle > 0 || len(wp.frames) < wp.workers)
+}
+
+// push enqueues a frame the caller filled (root injection).
+func (wp *workPool) push(f *frame) {
+	wp.mu.Lock()
+	wp.frames.push(f)
+	wp.pending++
+	wp.updateHungryLocked()
+	wp.mu.Unlock()
+	wp.cond.Signal()
+}
+
+// donate copies (p, set, cur) into a recycled frame and enqueues it with
+// the given best-first priority.
+func (wp *workPool) donate(p, set []uint64, cur, pri int64) {
+	wp.mu.Lock()
+	var f *frame
+	if n := len(wp.free); n > 0 {
+		f = wp.free[n-1]
+		wp.free = wp.free[:n-1]
+	} else {
+		f = &frame{p: make([]uint64, len(p)), set: make([]uint64, len(set))}
+	}
+	copy(f.p, p)
+	copy(f.set, set)
+	f.cur = cur
+	f.pri = pri
+	wp.frames.push(f)
+	wp.pending++
+	wp.updateHungryLocked()
+	wp.mu.Unlock()
+	wp.cond.Signal()
+}
+
+// pop returns the next frame to explore, blocking while the queue is empty
+// but other workers still hold unfinished frames (they may donate). nil
+// means the search is complete or aborted and the worker should exit.
+func (wp *workPool) pop() *frame {
+	wp.mu.Lock()
+	defer wp.mu.Unlock()
+	for {
+		if wp.aborted || (len(wp.frames) == 0 && wp.pending == 0) {
+			return nil
+		}
+		if len(wp.frames) > 0 {
+			f := wp.frames.pop()
+			wp.updateHungryLocked()
+			return f
+		}
+		wp.idle++
+		wp.updateHungryLocked()
+		wp.cond.Wait()
+		wp.idle--
+	}
+}
+
+// finish marks a popped frame fully explored and recycles its buffers.
+func (wp *workPool) finish(f *frame) {
+	wp.mu.Lock()
+	wp.free = append(wp.free, f)
+	wp.pending--
+	done := wp.pending == 0 && len(wp.frames) == 0
+	wp.mu.Unlock()
+	if done {
+		wp.cond.Broadcast()
+	}
+}
+
+// abort drains the pool: pop returns nil for everyone from now on.
+func (wp *workPool) abort() {
+	wp.mu.Lock()
+	wp.aborted = true
+	wp.mu.Unlock()
+	wp.cond.Broadcast()
+}
+
+// exactParallel runs the worker-pool engine over the prepared state.
+func exactParallel(st *exactState, workers int) (Solution, error) {
+	pool := newWorkPool(workers)
+	root := &frame{p: st.rootCandidates(), set: make([]uint64, st.words)}
+	pool.push(root)
+
+	searchers := make([]*searcher, workers)
+	var wg sync.WaitGroup
+	for i := range searchers {
+		searchers[i] = newSearcher(st, pool)
+		wg.Add(1)
+		go searchers[i].runWorker(&wg)
+	}
+	wg.Wait()
+
+	total := st.steps.Load()
+	if st.stop.Load() {
+		return st.solution(false, total), fmt.Errorf("%w after %d steps", ErrBudgetExceeded, total)
+	}
+	// The weight is now provably optimal; stabilise the witness so the
+	// returned set is schedule-independent. When the greedy seed was
+	// already optimal no worker ever improved the incumbent — bestSet is
+	// still the seed set, which is exactly what the sequential engine
+	// returns (its strict-improvement update never fires either), so
+	// canonicalising would *introduce* a divergence rather than remove
+	// one.
+	var canonSteps int64
+	if st.best.Load() > st.seedWeight {
+		canonSteps = searchers[0].canonicalize()
+	}
+	return st.solution(true, total+canonSteps), nil
+}
+
+// runWorker is one pool worker: pop a frame, explore its subtree (donating
+// under-explored branches when the pool is hungry), repeat until the pool
+// reports completion.
+func (w *searcher) runWorker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		f := w.pool.pop()
+		if f == nil {
+			break
+		}
+		copy(w.curSet, f.set)
+		w.searchPar(f.p, f.cur, 0)
+		w.pool.finish(f)
+	}
+	// Flush the remainder so Solution.Steps is the true total. This runs
+	// after the search settled, so it must not flip the budget stop.
+	w.st.steps.Add(w.localSteps)
+	w.localSteps = 0
+}
+
+// flushAndCheck moves the local step count into the shared counter and
+// enforces the budget; false means the budget blew and the worker must
+// unwind.
+func (w *searcher) flushAndCheck() bool {
+	total := w.st.steps.Add(w.localSteps)
+	w.localSteps = 0
+	w.st.warmedUp.Store(true)
+	if total > w.st.maxSteps {
+		w.st.stop.Store(true)
+		w.pool.abort()
+		return false
+	}
+	return true
+}
+
+// searchPar is the parallel-engine recursion: identical branching, bounding
+// and incumbent handling to searchSeq, plus batched step accounting, a stop
+// poll, and exclude-branch donation. Returns false when unwinding on a
+// blown budget.
+func (w *searcher) searchPar(p []uint64, cur int64, depth int) bool {
+	st := w.st
+	w.localSteps++
+	if w.localSteps >= stepFlushBatch && !w.flushAndCheck() {
+		return false
+	}
+	if st.stop.Load() {
+		return false
+	}
+	if cur > st.best.Load() {
+		st.offerIncumbent(cur, w.curSet)
+	}
+	v := w.pickBranchNode(p)
+	if v == -1 {
+		return true
+	}
+	if cur+w.bound(p) <= st.best.Load() {
+		return true
+	}
+	// Branch 1: include v.
+	child := w.bufP[depth]
+	for i := range child {
+		child[i] = p[i] &^ st.closed[v][i]
+	}
+	w.curSet[v/64] |= 1 << (uint(v) % 64)
+	if !w.searchPar(child, cur+st.weights[v], depth+1) {
+		return false
+	}
+	w.curSet[v/64] &^= 1 << (uint(v) % 64)
+	// Branch 2: exclude v. Donated to a starving pool if big enough to be
+	// worth the handoff, otherwise explored in place (p mutation is safe:
+	// the parent never re-reads its candidate set).
+	p[v/64] &^= 1 << (uint(v) % 64)
+	if w.pool.wantDonations.Load() && st.warmedUp.Load() && popAtLeast(p, donateMinCandidates) {
+		// The ceiling cur + bound(p) doubles as the frame's best-first
+		// priority; branches already provably under the incumbent are not
+		// worth queueing at all.
+		if ceiling := cur + w.bound(p); ceiling > st.best.Load() {
+			w.pool.donate(p, w.curSet, cur, ceiling)
+		}
+		return true
+	}
+	return w.searchPar(p, cur, depth)
+}
+
+// popAtLeast reports whether the bitset has at least k set bits, without
+// scanning past the answer.
+func popAtLeast(p []uint64, k int) bool {
+	count := 0
+	for _, word := range p {
+		count += bits.OnesCount64(word)
+		if count >= k {
+			return true
+		}
+	}
+	return count >= k
+}
+
+// canonicalize rewrites the incumbent as the canonical maximum-weight
+// witness: the one the sequential engine returns. It replays the
+// sequential DFS (same branching rule) with the incumbent pre-seeded to
+// W−1, pruning every subtree whose clique bound cannot reach the known
+// optimum W, and stops at the first prefix of weight W.
+//
+// That prefix is provably the sequential witness whenever the search
+// improved on the greedy seed (the only case the caller invokes this):
+// the DFS visiting order is incumbent-independent (pruning only skips
+// subtrees), a skipped subtree has ceiling < W and therefore contains no
+// weight-W prefix, and with W strictly above the seed the sequential
+// engine's strict-improvement update necessarily fires first at the first
+// weight-W prefix of that order and never again (nothing exceeds W). So
+// parallel solves return the sequential engine's exact witness set at
+// every worker count, and the pass costs only the optimum-certificate
+// sliver of the sequential search — maximal pruning from the first node.
+// (When the seed is already optimal both engines return the seed set and
+// this pass must not run — see exactParallel.) Returns the nodes visited
+// (added to Solution.Steps).
+func (w *searcher) canonicalize() int64 {
+	st := w.st
+	target := st.best.Load()
+	for i := range w.curSet {
+		w.curSet[i] = 0
+	}
+	w.canonSteps = 0
+	if w.canonSearch(st.rootCandidates(), 0, 0, target) {
+		copy(st.bestSet, w.curSet)
+	}
+	return w.canonSteps
+}
+
+// canonSearch mirrors searchSeq node for node under a fixed target bound.
+func (w *searcher) canonSearch(p []uint64, cur int64, depth int, target int64) bool {
+	st := w.st
+	w.canonSteps++
+	if cur == target {
+		return true
+	}
+	v := w.pickBranchNode(p)
+	if v == -1 {
+		return false
+	}
+	if cur+w.bound(p) < target {
+		return false
+	}
+	child := w.bufP[depth]
+	for i := range child {
+		child[i] = p[i] &^ st.closed[v][i]
+	}
+	w.curSet[v/64] |= 1 << (uint(v) % 64)
+	if w.canonSearch(child, cur+st.weights[v], depth+1, target) {
+		return true
+	}
+	w.curSet[v/64] &^= 1 << (uint(v) % 64)
+	p[v/64] &^= 1 << (uint(v) % 64)
+	return w.canonSearch(p, cur, depth, target)
+}

@@ -18,6 +18,10 @@
 // Experiments run concurrently, so their solver work meets in the shared
 // content-addressed solve cache (internal/mis/cache): a graph solved by
 // one job is a cache hit for every other job that builds the same graph.
+// Each job nevertheless sees only its own traffic: it runs under a private
+// cache.Session, which is what makes the per-experiment solver/cache
+// numbers in the envelope exact at any pool size (they used to be diffs of
+// process-global counters, approximate whenever jobs overlapped).
 package runner
 
 import (
@@ -29,11 +33,15 @@ import (
 	"time"
 
 	"congestlb/internal/experiments"
+	"congestlb/internal/mis"
 	"congestlb/internal/mis/cache"
 )
 
 // Schema identifies the envelope format; bump when fields change meaning.
-const Schema = "congestlb/experiment-envelope/v1"
+// v2: per-experiment solver/cache numbers are exact per-job attribution
+// (not global-counter diffs), solver_workers records the run's solver
+// parallelism, and the run-level cache block carries disk-tier traffic.
+const Schema = "congestlb/experiment-envelope/v2"
 
 // Experiment statuses in the envelope.
 const (
@@ -46,6 +54,10 @@ type Options struct {
 	// Jobs is the worker-pool size; values < 1 select GOMAXPROCS. The
 	// pool is clamped to the number of experiments.
 	Jobs int
+	// SolverWorkers is the branch-and-bound worker count stamped onto
+	// every exact solve of the run (0 = the solver's default, GOMAXPROCS).
+	// The effective value is recorded in the envelope.
+	SolverWorkers int
 }
 
 // ExperimentResult is one experiment's record in the JSON envelope.
@@ -61,10 +73,13 @@ type ExperimentResult struct {
 	WallMS float64 `json:"wall_ms"`
 	// SolveSteps is the branch-and-bound work (solver steps) performed on
 	// behalf of this experiment; CacheHits/CacheMisses are the solve-cache
-	// lookups it triggered. All three are deltas of process-global
-	// counters: exact when Jobs is 1, attributed approximately when
-	// experiments overlap in time.
+	// lookups it triggered, and StepsSaved the solver work those hits
+	// avoided. Each job runs under its own cache.Session, so all four are
+	// exact at any Jobs count. With single-flight dedup, a solve two
+	// overlapping experiments both need books its steps under the one that
+	// ran it; the other records a hit and the StepsSaved.
 	SolveSteps  int64  `json:"solve_steps"`
+	StepsSaved  int64  `json:"steps_saved"`
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
 }
@@ -72,8 +87,10 @@ type ExperimentResult struct {
 // Envelope is the structured result of one runner invocation.
 type Envelope struct {
 	Schema string `json:"schema"`
-	// Jobs is the effective worker-pool size of the run.
-	Jobs int `json:"jobs"`
+	// Jobs is the effective worker-pool size of the run; SolverWorkers the
+	// effective per-solve branch-and-bound worker count.
+	Jobs          int `json:"jobs"`
+	SolverWorkers int `json:"solver_workers"`
 	// WallMS is the whole run's wall-clock time; SequentialMS sums the
 	// per-experiment wall times, so WallMS/SequentialMS exposes the
 	// sharding win on multi-core runs.
@@ -111,11 +128,19 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	if w == nil {
 		w = io.Discard
 	}
+	solverWorkers := opts.SolverWorkers
+	if solverWorkers <= 0 {
+		solverWorkers = mis.DefaultWorkers()
+	}
+	if solverWorkers <= 0 {
+		solverWorkers = runtime.GOMAXPROCS(0)
+	}
 
 	env := Envelope{
-		Schema:      Schema,
-		Jobs:        jobs,
-		Experiments: make([]ExperimentResult, len(exps)),
+		Schema:        Schema,
+		Jobs:          jobs,
+		SolverWorkers: solverWorkers,
+		Experiments:   make([]ExperimentResult, len(exps)),
 	}
 	start := time.Now()
 	cacheBefore := cache.Shared().Stats()
@@ -136,7 +161,7 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	for worker := 0; worker < jobs; worker++ {
 		go func() {
 			for i := range tasks {
-				runOne(exps[i], &slots[i].buf, &env.Experiments[i])
+				runOne(exps[i], &slots[i].buf, &env.Experiments[i], opts.SolverWorkers)
 				close(slots[i].done)
 			}
 		}()
@@ -160,12 +185,16 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	env.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	cacheAfter := cache.Shared().Stats()
 	env.Cache = cache.Stats{
-		Hits:        cacheAfter.Hits - cacheBefore.Hits,
-		Misses:      cacheAfter.Misses - cacheBefore.Misses,
-		Evictions:   cacheAfter.Evictions - cacheBefore.Evictions,
-		Entries:     cacheAfter.Entries,
-		StepsSolved: cacheAfter.StepsSolved - cacheBefore.StepsSolved,
-		StepsSaved:  cacheAfter.StepsSaved - cacheBefore.StepsSaved,
+		Hits:          cacheAfter.Hits - cacheBefore.Hits,
+		Misses:        cacheAfter.Misses - cacheBefore.Misses,
+		Evictions:     cacheAfter.Evictions - cacheBefore.Evictions,
+		Entries:       cacheAfter.Entries,
+		StepsSolved:   cacheAfter.StepsSolved - cacheBefore.StepsSolved,
+		StepsSaved:    cacheAfter.StepsSaved - cacheBefore.StepsSaved,
+		DiskHits:      cacheAfter.DiskHits - cacheBefore.DiskHits,
+		DiskMisses:    cacheAfter.DiskMisses - cacheBefore.DiskMisses,
+		DiskWrites:    cacheAfter.DiskWrites - cacheBefore.DiskWrites,
+		DiskEvictions: cacheAfter.DiskEvictions - cacheBefore.DiskEvictions,
 	}
 
 	var failures []string
@@ -192,18 +221,20 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 
 // runOne executes a single experiment into its private buffer and fills
 // its envelope record. The markdown framing replicates experiments.RunAll
-// byte for byte.
-func runOne(e experiments.Experiment, buf *strings.Builder, res *ExperimentResult) {
+// byte for byte. The private cache.Session makes the solver/cache numbers
+// exactly this experiment's, however many jobs run concurrently.
+func runOne(e experiments.Experiment, buf *strings.Builder, res *ExperimentResult, solverWorkers int) {
 	res.ID, res.Title, res.PaperRef = e.ID, e.Title, e.PaperRef
 	fmt.Fprintf(buf, "## %s — %s\n\n*Reproduces: %s*\n\n", e.ID, e.Title, e.PaperRef)
-	before := cache.Shared().Stats()
+	sess := cache.NewSession(nil, solverWorkers)
 	start := time.Now()
-	err := e.Run(buf)
+	err := e.Run(experiments.NewCtx(buf, sess))
 	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
-	after := cache.Shared().Stats()
-	res.SolveSteps = after.StepsSolved - before.StepsSolved
-	res.CacheHits = after.Hits - before.Hits
-	res.CacheMisses = after.Misses - before.Misses
+	st := sess.Stats()
+	res.SolveSteps = st.StepsSolved
+	res.StepsSaved = st.StepsSaved
+	res.CacheHits = st.Hits
+	res.CacheMisses = st.Misses
 	if err != nil {
 		res.Status = StatusFailed
 		res.Error = err.Error()

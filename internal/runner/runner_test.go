@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"congestlb/internal/experiments"
+	"congestlb/internal/mis/cache"
 )
 
 // fastSubset picks a handful of real experiments with distinct workloads.
@@ -97,6 +98,42 @@ func TestEnvelopeFields(t *testing.T) {
 	}
 }
 
+// TestPerJobAttributionExact is the thread-local accounting property: with
+// a fresh shared cache and heavily overlapping jobs, the per-experiment
+// session counters must sum exactly to the run-level cache delta — no
+// traffic double-counted, none lost to a concurrent job's window.
+func TestPerJobAttributionExact(t *testing.T) {
+	exps := fastSubset(t)
+	cache.Shared().Reset()
+	defer cache.Shared().Reset()
+	env, err := Run(exps, Options{Jobs: len(exps)}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits, misses uint64
+	var solved, saved int64
+	for _, r := range env.Experiments {
+		hits += r.CacheHits
+		misses += r.CacheMisses
+		solved += r.SolveSteps
+		saved += r.StepsSaved
+	}
+	if hits != env.Cache.Hits || misses != env.Cache.Misses {
+		t.Fatalf("lookup attribution drifted: experiments sum %d/%d, run delta %d/%d",
+			hits, misses, env.Cache.Hits, env.Cache.Misses)
+	}
+	if solved != env.Cache.StepsSolved || saved != env.Cache.StepsSaved {
+		t.Fatalf("step attribution drifted: experiments sum %d solved / %d saved, run delta %d / %d",
+			solved, saved, env.Cache.StepsSolved, env.Cache.StepsSaved)
+	}
+	if misses == 0 || solved == 0 {
+		t.Fatalf("fresh cache saw no solver work: %+v", env.Cache)
+	}
+	if env.SolverWorkers < 1 {
+		t.Fatalf("effective solver workers not recorded: %d", env.SolverWorkers)
+	}
+}
+
 func TestWorkerPoolClampedToExperiments(t *testing.T) {
 	exps := fastSubset(t)[:2]
 	env, err := Run(exps, Options{Jobs: 64}, io.Discard)
@@ -111,15 +148,15 @@ func TestWorkerPoolClampedToExperiments(t *testing.T) {
 func TestFailuresAggregateLikeRunAll(t *testing.T) {
 	boom := errors.New("assertion blew up")
 	exps := []experiments.Experiment{
-		{ID: "alpha", Title: "A", PaperRef: "ref A", Run: func(w io.Writer) error {
+		{ID: "alpha", Title: "A", PaperRef: "ref A", Run: func(w *experiments.Ctx) error {
 			fmt.Fprintln(w, "alpha body")
 			return nil
 		}},
-		{ID: "beta", Title: "B", PaperRef: "ref B", Run: func(w io.Writer) error {
+		{ID: "beta", Title: "B", PaperRef: "ref B", Run: func(w *experiments.Ctx) error {
 			fmt.Fprintln(w, "beta body")
 			return boom
 		}},
-		{ID: "gamma", Title: "C", PaperRef: "ref C", Run: func(w io.Writer) error {
+		{ID: "gamma", Title: "C", PaperRef: "ref C", Run: func(w *experiments.Ctx) error {
 			fmt.Fprintln(w, "gamma body")
 			return nil
 		}},
