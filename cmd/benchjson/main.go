@@ -24,10 +24,14 @@
 // Finally, -compare turns two archived baselines into an enforced
 // trajectory instead of an archive:
 //
-//	benchjson -compare [-threshold 0.25] old.json new.json
+//	benchjson -compare [-threshold 0.25] [-floor 1000000] old.json new.json
 //
 // prints per-benchmark ns/op and B/op deltas and exits non-zero if any
 // benchmark regressed by more than the threshold (default 0.25 = +25%).
+// -floor exempts benchmarks whose old ns/op is below the given value from
+// the ns/op gate: at a 1-iteration smoke, microsecond-scale timings are
+// noise-dominated and would trip any threshold spuriously. B/op is
+// deterministic and gates regardless of the floor.
 package main
 
 import (
@@ -134,10 +138,13 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits bool) error {
 		env.Cache.Hits, env.Cache.Misses)
 	fmt.Fprintf(w, "disk tier: %d hit / %d miss, %d written, %d evicted\n",
 		env.Cache.DiskHits, env.Cache.DiskMisses, env.Cache.DiskWrites, env.Cache.DiskEvictions)
+	fmt.Fprintf(w, "lbgraph build cache: %d hit / %d miss, %d entries\n",
+		env.LBGraph.Hits, env.LBGraph.Misses, env.LBGraph.Entries)
 	var failed []string
 	for _, e := range env.Experiments {
-		fmt.Fprintf(w, "  %-12s %-6s %8.1f ms  %10d steps  %d hit / %d miss\n",
-			e.ID, e.Status, e.WallMS, e.SolveSteps, e.CacheHits, e.CacheMisses)
+		fmt.Fprintf(w, "  %-12s %-6s %8.1f ms  %10d steps  %d hit / %d miss  %d builds (%d hit)  %d instance jobs\n",
+			e.ID, e.Status, e.WallMS, e.SolveSteps, e.CacheHits, e.CacheMisses,
+			e.LBGraphHits+e.LBGraphMisses, e.LBGraphHits, e.InstanceJobs)
 		if e.Status != runner.StatusOK {
 			failed = append(failed, fmt.Sprintf("%s: %s", e.ID, e.Error))
 		}
@@ -186,8 +193,12 @@ func pctDelta(oldV, newV float64) string {
 // compareBaselines diffs two baselines benchmark by benchmark and fails on
 // any ns/op or B/op regression beyond threshold (a fraction: 0.25 = +25%).
 // Benchmarks present in only one file are reported but never fail the
-// comparison — the suite is allowed to grow and shrink.
-func compareBaselines(oldPath, newPath string, threshold float64, w io.Writer) error {
+// comparison — the suite is allowed to grow and shrink. Benchmarks whose
+// old ns/op is below floor are exempt from the ns/op gate only: at the
+// 1-iteration CI smoke a microsecond-scale bench's timing is
+// noise-dominated (a single cold-cache miss reads as a 3x "regression"),
+// but B/op stays deterministic and gates at every size.
+func compareBaselines(oldPath, newPath string, threshold, floor float64, w io.Writer) error {
 	oldBy, oldNames, err := readBaseline(oldPath)
 	if err != nil {
 		return err
@@ -210,7 +221,7 @@ func compareBaselines(oldPath, newPath string, threshold float64, w io.Writer) e
 			name, oldR.NsPerOp, newR.NsPerOp, pctDelta(oldR.NsPerOp, newR.NsPerOp),
 			oldR.BytesPerOp, newR.BytesPerOp,
 			pctDelta(float64(oldR.BytesPerOp), float64(newR.BytesPerOp)))
-		if newR.NsPerOp > oldR.NsPerOp*(1+threshold) {
+		if oldR.NsPerOp >= floor && newR.NsPerOp > oldR.NsPerOp*(1+threshold) {
 			regressions = append(regressions, fmt.Sprintf("%s: ns/op %s", name, pctDelta(oldR.NsPerOp, newR.NsPerOp)))
 		}
 		if oldR.BytesPerOp > 0 && float64(newR.BytesPerOp) > float64(oldR.BytesPerOp)*(1+threshold) {
@@ -236,6 +247,7 @@ func main() {
 	requireDiskHits := flag.Bool("require-disk-hits", false, "with -experiments: fail unless the run served at least one solve from the disk tier")
 	compare := flag.Bool("compare", false, "compare two baseline files (old.json new.json) and fail on regressions beyond -threshold")
 	threshold := flag.Float64("threshold", 0.25, "with -compare: allowed ns/op and B/op growth as a fraction (0.25 = +25%)")
+	floor := flag.Float64("floor", 0, "with -compare: exempt benchmarks whose old ns/op is below this from the ns/op gate (1-iteration timing noise; B/op still gates)")
 	flag.Parse()
 
 	w := io.Writer(os.Stdout)
@@ -254,7 +266,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two baseline files: old.json new.json")
 			os.Exit(1)
 		}
-		if err := compareBaselines(args[0], args[1], *threshold, w); err != nil {
+		if err := compareBaselines(args[0], args[1], *threshold, *floor, w); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

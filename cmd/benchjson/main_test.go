@@ -157,7 +157,7 @@ func TestCompareBaselinesPassAndDeltas(t *testing.T) {
 		{Name: "BenchmarkNew", Iterations: 3, NsPerOp: 20},
 	})
 	var buf bytes.Buffer
-	if err := compareBaselines(oldPath, newPath, 0.25, &buf); err != nil {
+	if err := compareBaselines(oldPath, newPath, 0.25, 0, &buf); err != nil {
 		t.Fatalf("+10%% within +25%% threshold rejected: %v", err)
 	}
 	out := buf.String()
@@ -173,20 +173,61 @@ func TestCompareBaselinesFailsOnRegression(t *testing.T) {
 	var buf bytes.Buffer
 
 	slow := writeBaseline(t, []Result{{Name: "BenchmarkA", Iterations: 3, NsPerOp: 1500, BytesPerOp: 100}})
-	err := compareBaselines(oldPath, slow, 0.25, &buf)
+	err := compareBaselines(oldPath, slow, 0.25, 0, &buf)
 	if err == nil || !strings.Contains(err.Error(), "ns/op") {
 		t.Fatalf("+50%% ns/op regression not flagged: %v", err)
 	}
 
 	fat := writeBaseline(t, []Result{{Name: "BenchmarkA", Iterations: 3, NsPerOp: 1000, BytesPerOp: 200}})
-	err = compareBaselines(oldPath, fat, 0.25, &buf)
+	err = compareBaselines(oldPath, fat, 0.25, 0, &buf)
 	if err == nil || !strings.Contains(err.Error(), "B/op") {
 		t.Fatalf("+100%% B/op regression not flagged: %v", err)
 	}
 
 	// A looser threshold lets the same delta through.
-	if err := compareBaselines(oldPath, slow, 0.60, &buf); err != nil {
+	if err := compareBaselines(oldPath, slow, 0.60, 0, &buf); err != nil {
 		t.Fatalf("+50%% rejected at +60%% threshold: %v", err)
+	}
+}
+
+// TestCompareBaselinesFloorExemptsShortBenches: benchmarks whose old
+// ns/op sits below the floor never gate on timing — a 1-iteration smoke
+// cannot time a microsecond bench meaningfully — but their B/op (which
+// is deterministic) still gates.
+func TestCompareBaselinesFloorExemptsShortBenches(t *testing.T) {
+	oldPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkTiny", Iterations: 1, NsPerOp: 35_000, BytesPerOp: 100},
+		{Name: "BenchmarkBig", Iterations: 1, NsPerOp: 50_000_000, BytesPerOp: 1000},
+	})
+	noisy := writeBaseline(t, []Result{
+		{Name: "BenchmarkTiny", Iterations: 1, NsPerOp: 110_000, BytesPerOp: 110}, // 3x ns: pure noise
+		{Name: "BenchmarkBig", Iterations: 1, NsPerOp: 51_000_000, BytesPerOp: 1000},
+	})
+	var buf bytes.Buffer
+	if err := compareBaselines(oldPath, noisy, 0.25, 1_000_000, &buf); err != nil {
+		t.Fatalf("sub-floor timing noise gated the comparison: %v", err)
+	}
+	// Without the floor the same data must fail on ns/op.
+	if err := compareBaselines(oldPath, noisy, 0.25, 0, &buf); err == nil {
+		t.Fatal("regression beyond threshold accepted at floor 0")
+	}
+	// The floor must not shield real regressions in long benches.
+	slowBig := writeBaseline(t, []Result{
+		{Name: "BenchmarkTiny", Iterations: 1, NsPerOp: 35_000, BytesPerOp: 100},
+		{Name: "BenchmarkBig", Iterations: 1, NsPerOp: 90_000_000, BytesPerOp: 1000},
+	})
+	if err := compareBaselines(oldPath, slowBig, 0.25, 1_000_000, &buf); err == nil {
+		t.Fatal("long-bench regression accepted with floor set")
+	}
+	// ...nor an allocation regression in a sub-floor bench: B/op is
+	// deterministic even at one iteration, so it gates regardless.
+	fatTiny := writeBaseline(t, []Result{
+		{Name: "BenchmarkTiny", Iterations: 1, NsPerOp: 35_000, BytesPerOp: 10_000},
+		{Name: "BenchmarkBig", Iterations: 1, NsPerOp: 50_000_000, BytesPerOp: 1000},
+	})
+	err := compareBaselines(oldPath, fatTiny, 0.25, 1_000_000, &buf)
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("sub-floor B/op regression not flagged: %v", err)
 	}
 }
 
@@ -197,10 +238,10 @@ func TestCompareBaselinesBadInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := compareBaselines(good, bad, 0.25, &buf); err == nil {
+	if err := compareBaselines(good, bad, 0.25, 0, &buf); err == nil {
 		t.Fatal("garbage new baseline accepted")
 	}
-	if err := compareBaselines(filepath.Join(t.TempDir(), "missing.json"), good, 0.25, &buf); err == nil {
+	if err := compareBaselines(filepath.Join(t.TempDir(), "missing.json"), good, 0.25, 0, &buf); err == nil {
 		t.Fatal("missing old baseline accepted")
 	}
 }

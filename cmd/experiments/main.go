@@ -8,16 +8,22 @@
 // Without -id it runs every registered experiment and emits a combined
 // markdown report (the source of EXPERIMENTS.md's measured columns).
 // Experiments execute as shardable jobs over a worker pool (-jobs, default
-// GOMAXPROCS); the markdown report is byte-identical whatever the pool
+// GOMAXPROCS), and the sweep loops inside each experiment fan their
+// per-instance work (one build + simulate + solve per sweep point) back
+// into the same pool, so -jobs above the experiment count keeps buying
+// parallelism; the markdown report is byte-identical whatever the pool
 // size. -solver-workers sets the branch-and-bound parallelism of every
 // exact solve (default GOMAXPROCS; results are deterministic at any
 // setting). -cache-dir attaches the persistent solve-cache tier: re-runs
 // with the same directory serve previously solved graphs from disk and
-// skip branch-and-bound entirely. -json additionally writes the structured
-// result envelope — one record per experiment with status, wall time,
-// exactly-attributed solver steps and solve cache statistics, plus
-// run-level disk-tier traffic — which cmd/benchjson -experiments validates
-// and CI archives.
+// skip branch-and-bound entirely. Lower-bound graph constructions are
+// memoised process-wide in the lbgraph build cache, so repeated sweep
+// points and cross-experiment reuse skip rebuilds. -json additionally
+// writes the structured result envelope (schema v3) — one record per
+// experiment with status, wall time, instance-job count, exactly-
+// attributed solver steps, solve-cache and build-cache statistics, plus
+// run-level disk-tier and build-cache traffic — which cmd/benchjson
+// -experiments validates and CI archives.
 package main
 
 import (

@@ -156,11 +156,18 @@ func AuditLocality(fam Family, a, b bitvec.Inputs, i int) error {
 // returning the measured optimum. The solver uses the family's clique
 // cover. Intended for small, exactly-solvable parameterisations.
 func AuditGap(fam Family, in bitvec.Inputs, exact func(Instance) (int64, error)) (int64, error) {
-	truth, err := in.PromisePairwiseDisjointness()
+	inst, err := fam.Build(in)
 	if err != nil {
 		return 0, err
 	}
-	inst, err := fam.Build(in)
+	return AuditGapBuilt(fam, in, inst, exact)
+}
+
+// AuditGapBuilt is AuditGap over a caller-built instance of fam for in,
+// for callers that construct instances through an attributed build-cache
+// session.
+func AuditGapBuilt(fam Family, in bitvec.Inputs, inst Instance, exact func(Instance) (int64, error)) (int64, error) {
+	truth, err := in.PromisePairwiseDisjointness()
 	if err != nil {
 		return 0, err
 	}

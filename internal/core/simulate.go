@@ -93,13 +93,22 @@ type OptExtractor func(result congest.Result, inst Instance) (int64, error)
 // actual transcript length and the Rounds·|cut|·B bound — so callers (and
 // tests) can confirm the inequality the paper's lower bounds rest on.
 func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptExtractor, cfg congest.Config) (SimulationReport, error) {
-	truth, err := in.PromisePairwiseDisjointness()
-	if err != nil {
-		return SimulationReport{}, fmt.Errorf("core: inputs: %w", err)
-	}
 	inst, err := fam.Build(in)
 	if err != nil {
 		return SimulationReport{}, fmt.Errorf("core: build: %w", err)
+	}
+	return SimulateBuilt(fam, in, inst, factory, extract, cfg)
+}
+
+// SimulateBuilt is Simulate over a caller-built instance of fam for in.
+// Callers that construct instances through an attributed build-cache
+// session (the sharded experiment sweeps) use this form so the build
+// traffic books under their session; Simulate itself is the convenience
+// wrapper that builds through the family.
+func SimulateBuilt(fam Family, in bitvec.Inputs, inst Instance, factory ProgramFactory, extract OptExtractor, cfg congest.Config) (SimulationReport, error) {
+	truth, err := in.PromisePairwiseDisjointness()
+	if err != nil {
+		return SimulationReport{}, fmt.Errorf("core: inputs: %w", err)
 	}
 	g, part := inst.Graph, inst.Partition
 

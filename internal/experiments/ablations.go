@@ -5,6 +5,7 @@ import (
 
 	"congestlb/internal/bitvec"
 	"congestlb/internal/code"
+	"congestlb/internal/core"
 	"congestlb/internal/lbgraph"
 )
 
@@ -35,24 +36,38 @@ func runAblations(w *Ctx) error {
 		return bitvec.Inputs{x1, x2}
 	}
 
+	// solveOpt is the per-variant instance job body: build the variant's
+	// instance through the attributed cache session and solve for the
+	// optimum, into the given slot.
+	solveOpt := func(fam interface {
+		BuildWith(*lbgraph.CacheSession, bitvec.Inputs) (core.Instance, error)
+	}, in bitvec.Inputs, slot *int64) func() error {
+		return func() error {
+			inst, err := fam.BuildWith(w.Builds, in)
+			if err != nil {
+				return err
+			}
+			opt, err := w.exactInstanceOpt(inst)
+			if err != nil {
+				return err
+			}
+			*slot = opt
+			return nil
+		}
+	}
+
 	tab := newTable("ablation", "params", "disjoint-case OPT", "Claim 5 bound", "gap intact?")
 
-	// Faithful baseline.
+	// Every ablation variant is an independent instance job; the builds
+	// and solves overlap on the pool, and the table flushes in the fixed
+	// presentation order after Gather.
 	pBase := lbgraph.Params{T: 2, Alpha: 1, Ell: 4}
 	faithful, err := lbgraph.NewLinear(pBase)
 	if err != nil {
 		return err
 	}
-	instF, err := faithful.Build(buildDisjoint(pBase))
-	if err != nil {
-		return err
-	}
-	optF, err := w.exactInstanceOpt(instF)
-	if err != nil {
-		return err
-	}
-	c.assert(optF <= pBase.LinearSmallMax(), "faithful construction broke Claim 5")
-	tab.add("(none — faithful)", pBase.String(), optF, pBase.LinearSmallMax(), optF <= pBase.LinearSmallMax())
+	var optF int64
+	w.Go(solveOpt(faithful, buildDisjoint(pBase), &optF))
 
 	// Ablation 1: replace Reed-Solomon with a distance-1 code.
 	weak, err := code.NewFirstSymbol(pBase.Q(), pBase.M())
@@ -63,17 +78,8 @@ func runAblations(w *Ctx) error {
 	if err != nil {
 		return err
 	}
-	instW, err := weakFam.Build(buildDisjoint(pBase))
-	if err != nil {
-		return err
-	}
-	optW, err := w.exactInstanceOpt(instW)
-	if err != nil {
-		return err
-	}
-	c.assert(optW > pBase.LinearSmallMax(),
-		"weak code should break the bound (got %d ≤ %d)", optW, pBase.LinearSmallMax())
-	tab.add("distance-1 code (Property 2 gone)", pBase.String(), optW, pBase.LinearSmallMax(), optW <= pBase.LinearSmallMax())
+	var optW int64
+	w.Go(solveOpt(weakFam, buildDisjoint(pBase), &optW))
 
 	// Ablation 2: drop the inter-copy wiring.
 	pWire := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
@@ -81,19 +87,8 @@ func runAblations(w *Ctx) error {
 	if err != nil {
 		return err
 	}
-	instN, err := noWire.Build(buildDisjoint(pWire))
-	if err != nil {
-		return err
-	}
-	optN, err := w.exactInstanceOpt(instN)
-	if err != nil {
-		return err
-	}
-	c.assert(optN >= pWire.LinearBeta(),
-		"no-wiring disjoint OPT %d should reach Beta %d", optN, pWire.LinearBeta())
-	tab.add("no inter-copy wiring", pWire.String(),
-		fmt.Sprintf("%d (reaches Beta=%d!)", optN, pWire.LinearBeta()),
-		pWire.LinearSmallMax(), optN <= pWire.LinearSmallMax())
+	var optN int64
+	w.Go(solveOpt(noWire, buildDisjoint(pWire), &optN))
 
 	// Ablation 3: uniform weights — the two cases become indistinguishable.
 	uniform, err := lbgraph.NewLinearVariant(pWire, lbgraph.LinearOptions{UniformWeights: true})
@@ -103,22 +98,24 @@ func runAblations(w *Ctx) error {
 	inter := bitvec.Inputs{bitvec.New(pWire.K()), bitvec.New(pWire.K())}
 	inter[0].Set(2)
 	inter[1].Set(2) // uniquely intersecting at index 2
-	instUI, err := uniform.Build(inter)
-	if err != nil {
+	var optUI, optUD int64
+	w.Go(solveOpt(uniform, inter, &optUI))
+	w.Go(solveOpt(uniform, buildDisjoint(pWire), &optUD))
+
+	if err := w.Gather(); err != nil {
 		return err
 	}
-	optUI, err := w.exactInstanceOpt(instUI)
-	if err != nil {
-		return err
-	}
-	instUD, err := uniform.Build(buildDisjoint(pWire))
-	if err != nil {
-		return err
-	}
-	optUD, err := w.exactInstanceOpt(instUD)
-	if err != nil {
-		return err
-	}
+
+	c.assert(optF <= pBase.LinearSmallMax(), "faithful construction broke Claim 5")
+	tab.add("(none — faithful)", pBase.String(), optF, pBase.LinearSmallMax(), optF <= pBase.LinearSmallMax())
+	c.assert(optW > pBase.LinearSmallMax(),
+		"weak code should break the bound (got %d ≤ %d)", optW, pBase.LinearSmallMax())
+	tab.add("distance-1 code (Property 2 gone)", pBase.String(), optW, pBase.LinearSmallMax(), optW <= pBase.LinearSmallMax())
+	c.assert(optN >= pWire.LinearBeta(),
+		"no-wiring disjoint OPT %d should reach Beta %d", optN, pWire.LinearBeta())
+	tab.add("no inter-copy wiring", pWire.String(),
+		fmt.Sprintf("%d (reaches Beta=%d!)", optN, pWire.LinearBeta()),
+		pWire.LinearSmallMax(), optN <= pWire.LinearSmallMax())
 	c.assert(optUI == optUD, "uniform weights: cases still differ (%d vs %d)", optUI, optUD)
 	tab.add("uniform weights", pWire.String(),
 		fmt.Sprintf("intersecting %d = disjoint %d", optUI, optUD), "—", false)
@@ -147,32 +144,15 @@ func runAblations(w *Ctx) error {
 	if err != nil {
 		return err
 	}
-	instQ, err := faithfulQ.Build(interIn())
-	if err != nil {
-		return err
-	}
-	optQ, err := w.exactInstanceOpt(instQ)
-	if err != nil {
-		return err
-	}
-	c.assert(optQ >= qp.QuadraticBeta(), "faithful quadratic lost its witness")
-	qTab.add("(none — faithful)", optQ, qp.QuadraticBeta(), optQ >= qp.QuadraticBeta())
+	var optQ int64
+	w.Go(solveOpt(faithfulQ, interIn(), &optQ))
 
 	inverted, err := lbgraph.NewQuadraticVariant(qp, lbgraph.QuadraticOptions{InvertInputEdges: true})
 	if err != nil {
 		return err
 	}
-	instInv, err := inverted.Build(interIn())
-	if err != nil {
-		return err
-	}
-	optInv, err := w.exactInstanceOpt(instInv)
-	if err != nil {
-		return err
-	}
-	c.assert(optInv < qp.QuadraticBeta(),
-		"inverted input edges should destroy the witness (got %d ≥ %d)", optInv, qp.QuadraticBeta())
-	qTab.add("input edges on 1 bits (inverted)", optInv, qp.QuadraticBeta(), optInv >= qp.QuadraticBeta())
+	var optInv int64
+	w.Go(solveOpt(inverted, interIn(), &optInv))
 
 	noInputs, err := lbgraph.NewQuadraticVariant(qp, lbgraph.QuadraticOptions{OmitInputEdges: true})
 	if err != nil {
@@ -185,14 +165,18 @@ func runAblations(w *Ctx) error {
 	for i := range disIn {
 		disIn[i] = bitvec.New(qp.K() * qp.K())
 	}
-	instNo, err := noInputs.Build(disIn)
-	if err != nil {
+	var optNo int64
+	w.Go(solveOpt(noInputs, disIn, &optNo))
+
+	if err := w.Gather(); err != nil {
 		return err
 	}
-	optNo, err := w.exactInstanceOpt(instNo)
-	if err != nil {
-		return err
-	}
+
+	c.assert(optQ >= qp.QuadraticBeta(), "faithful quadratic lost its witness")
+	qTab.add("(none — faithful)", optQ, qp.QuadraticBeta(), optQ >= qp.QuadraticBeta())
+	c.assert(optInv < qp.QuadraticBeta(),
+		"inverted input edges should destroy the witness (got %d ≥ %d)", optInv, qp.QuadraticBeta())
+	qTab.add("input edges on 1 bits (inverted)", optInv, qp.QuadraticBeta(), optInv >= qp.QuadraticBeta())
 	c.assert(optNo >= qp.QuadraticBeta(),
 		"without input edges even disjoint inputs should reach Beta (got %d)", optNo)
 	qTab.add("no input edges (disjoint input!)", optNo, qp.QuadraticBeta(), optNo >= qp.QuadraticBeta())

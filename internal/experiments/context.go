@@ -1,224 +1,276 @@
 package experiments
 
 import (
-	"fmt"
-	"math/rand"
+	"io"
+	"sync"
+	"sync/atomic"
 
-	"congestlb/internal/bitvec"
-	"congestlb/internal/congest"
-	"congestlb/internal/congestalg"
-	"congestlb/internal/core"
 	"congestlb/internal/lbgraph"
-	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
 )
 
-// Context experiments: the Section 1 limitation argument, the Remark 1
-// unweighted transform, and the upper-bound side — what real CONGEST
-// algorithms achieve on the hard instances.
+// This file is the execution machinery handed to every experiment: the
+// Ctx (report writer + attributed cache sessions) and the intra-experiment
+// job scheduler behind Ctx.Go/Ctx.Gather.
+//
+// # Intra-experiment sharding
+//
+// Experiment bodies decompose into independent per-instance jobs — one
+// sweep point, one promise case, one ablation variant — following the
+// per-instance decomposition of the paper's two-party reduction framing.
+// The contract that keeps markdown reports byte-identical to a sequential
+// run at any pool size:
+//
+//   - Input generation stays sequential. Anything consuming the
+//     experiment's rand.Rand (or other ordered state) runs in the
+//     submission loop on the experiment goroutine, so the RNG stream is
+//     exactly the sequential one. Only the heavy, deterministic work —
+//     build, simulate, solve — goes inside the job closure.
+//   - Jobs never touch the Ctx writer, the shared table or the check
+//     accumulator. Each job fills its own result slot (a captured
+//     variable or slice element); after Gather the experiment flushes the
+//     slots in sweep order.
+//   - Gather returns the error of the earliest-submitted failing job —
+//     the same error a sequential early-returning loop reports — so a
+//     failing experiment renders the identical **FAILED** line.
+//
+// # Deadlock avoidance for nested jobs
+//
+// Experiments themselves run as jobs on the same Scheduler pool (the
+// runner submits one job per experiment), so a naive "submit and block"
+// Gather could strand every worker waiting on queued jobs no worker is
+// free to run. The rule that makes the nesting safe: a gatherer never
+// blocks on a job that is still queued — it claims the job (atomic
+// queued→running transition) and runs it inline on its own goroutine,
+// and only ever blocks on jobs some other worker is actively executing.
+// Blocking therefore always waits on a goroutine that is making progress
+// (instance jobs never gather further), so the pool cannot deadlock at
+// any worker count, including one.
 
-func init() {
-	register(Experiment{
-		ID:       "twoparty",
-		Title:    "The limitation: t players get a 1/t-approximation with t·O(log n) bits",
-		PaperRef: "Section 1, 'Limitations of the two-party framework'",
-		Run:      runTwoParty,
-	})
-	register(Experiment{
-		ID:       "remark1",
-		Title:    "Unweighted instances via blow-up: gap preserved, n grows by Θ(log k)",
-		PaperRef: "Remark 1",
-		Run:      runRemark1,
-	})
-	register(Experiment{
-		ID:       "upperbounds",
-		Title:    "CONGEST algorithms on the hard instances: rounds vs quality",
-		PaperRef: "Section 1 upper-bound context ([5,18] and the O(n²) universal algorithm)",
-		Run:      runUpperBounds,
-	})
+// jobQueued/jobRunning/jobDone are the instanceJob lifecycle states.
+const (
+	jobQueued int32 = iota
+	jobRunning
+	jobDone
+)
+
+// instanceJob is one unit of intra-experiment (or experiment-level) work
+// submitted to a Scheduler.
+type instanceJob struct {
+	state atomic.Int32
+	fn    func() error
+	err   error
+	done  chan struct{}
 }
 
-func runTwoParty(w *Ctx) error {
-	var c check
-	tab := newTable("t", "n", "protocol bits", "best local / global OPT", "floor 1/t")
-	rng := rand.New(rand.NewSource(31))
-	for _, p := range []lbgraph.Params{
-		{T: 2, Alpha: 1, Ell: 3},
-		{T: 3, Alpha: 1, Ell: 4},
-		lbgraph.FigureParams(4),
-	} {
-		l, err := lbgraph.NewLinear(p)
-		if err != nil {
-			return err
-		}
-		in, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, rng)
-		if err != nil {
-			return err
-		}
-		inst, err := l.Build(in)
-		if err != nil {
-			return err
-		}
-		report, err := core.SplitBestWith(w.Solve, inst)
-		if err != nil {
-			return err
-		}
-		floor := 1 / float64(p.T)
-		c.assert(report.Ratio() >= floor, "t=%d: ratio %f below 1/t", p.T, report.Ratio())
-		c.assert(report.Bits == int64(p.T)*64, "t=%d: cost %d bits", p.T, report.Bits)
-		tab.add(p.T, inst.Graph.N(), report.Bits,
-			fmt.Sprintf("%d/%d = %.3f", report.Best, report.Opt, report.Ratio()), floor)
+// claim runs the job if it is still queued, transitioning it to done.
+// Exactly one caller — a pool worker or the job's gatherer — wins the
+// queued→running race.
+func (j *instanceJob) claim() bool {
+	if !j.state.CompareAndSwap(jobQueued, jobRunning) {
+		return false
 	}
-	tab.write(w)
-	fmt.Fprintf(w, "Each player solves its own part locally and announces one value: a 1/t-approximation "+
-		"for O(t·log n) bits. At t=2 this is the 1/2 barrier that blocks two-party reductions below "+
-		"(1/2)-approximation; using t players relaxes the barrier to 1/t, which is why the multi-party "+
-		"framework can reach (1/2+ε) and beyond.\n")
-	return c.err()
+	j.err = j.fn()
+	j.state.Store(jobDone)
+	close(j.done)
+	return true
 }
 
-func runRemark1(w *Ctx) error {
-	var c check
-	p := lbgraph.FigureParams(2)
-	l, err := lbgraph.NewLinear(p)
-	if err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(37))
-	tab := newTable("case", "weighted n", "unweighted n′", "weighted OPT", "unweighted OPT", "equal")
-	for _, tc := range []struct {
-		name      string
-		intersect bool
-	}{
-		{name: "uniquely intersecting", intersect: true},
-		{name: "pairwise disjoint", intersect: false},
-	} {
-		var in bitvec.Inputs
-		if tc.intersect {
-			in, _, err = bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, rng)
-		} else {
-			in, err = bitvec.RandomPairwiseDisjoint(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, rng)
-		}
-		if err != nil {
-			return err
-		}
-		inst, err := l.Build(in)
-		if err != nil {
-			return err
-		}
-		res, err := lbgraph.Blowup(inst.Graph, inst.Partition)
-		if err != nil {
-			return err
-		}
-		weighted, err := w.Solve.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
-		if err != nil {
-			return err
-		}
-		unweighted, err := w.Solve.Exact(res.Graph, mis.Options{CliqueCover: lbgraph.BlowupCover(inst.CliqueCover, res)})
-		if err != nil {
-			return err
-		}
-		equal := weighted.Weight == unweighted.Weight
-		c.assert(equal, "%s: OPT changed %d → %d", tc.name, weighted.Weight, unweighted.Weight)
-		tab.add(tc.name, inst.Graph.N(), res.Graph.N(), weighted.Weight, unweighted.Weight, equal)
-	}
-	tab.write(w)
-	fmt.Fprintf(w, "Replacing each weight-ℓ node by an ℓ-node independent set (bicliques for edges) preserves "+
-		"the optimum exactly. The node count grows from Θ(k) to Θ(k·ℓ) = Θ(k log k), costing the lower bound "+
-		"one log factor, exactly as Remark 1 states.\n\n")
-
-	// End-to-end: the unweighted family runs through the full Theorem 5
-	// reduction — a CONGEST algorithm on the blown-up instance decides the
-	// same promise function within the same accounting bound.
-	up := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
-	ufam, err := lbgraph.NewUnweightedLinear(up)
-	if err != nil {
-		return err
-	}
-	uin, _, err := bitvec.RandomUniquelyIntersecting(up.K(), up.T, bitvec.GenOptions{Density: 0.3}, rng)
-	if err != nil {
-		return err
-	}
-	report, err := core.Simulate(ufam, uin, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 13})
-	if err != nil {
-		return err
-	}
-	c.assert(report.AccountingHolds(), "unweighted simulation: accounting violated")
-	c.assert(report.Correct(), "unweighted simulation: wrong decision")
-	fmt.Fprintf(w, "Live reduction on the unweighted family (%s): n=%d, T=%d rounds, blackboard %d ≤ "+
-		"T·|cut|·B = %d bits, decision correct: %v.\n",
-		report.Family, report.N, report.Rounds, report.BlackboardBits,
-		report.AccountingBound, report.Correct())
-	return c.err()
+// Scheduler is the shared worker pool that executes experiment-level jobs
+// (the runner's) and per-instance jobs (Ctx.Go's). Instance jobs live on
+// their own queue, drained before experiment-level jobs: a freed worker
+// finishes the sweeps of experiments already in flight before opening a
+// new experiment, so intra-experiment parallelism materialises even while
+// an experiment backlog exists (with one FIFO the backlog would starve
+// every sweep until fewer experiments than workers remained). See the
+// file comment for the nesting/deadlock-avoidance rule.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	inst   []*instanceJob // per-instance jobs: drained first
+	exp    []*instanceJob // experiment-level jobs
+	closed bool
+	wg     sync.WaitGroup
 }
 
-func runUpperBounds(w *Ctx) error {
-	var c check
-	p := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
-	l, err := lbgraph.NewLinear(p)
-	if err != nil {
-		return err
+// NewScheduler starts a pool of the given size (values < 1 mean 1).
+// Callers must Close it to stop the workers.
+func NewScheduler(workers int) *Scheduler {
+	if workers < 1 {
+		workers = 1
 	}
-	rng := rand.New(rand.NewSource(41))
-	in, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, rng)
-	if err != nil {
-		return err
+	s := &Scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
 	}
-	inst, err := l.Build(in)
-	if err != nil {
-		return err
-	}
-	optSol, err := w.Solve.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
-	if err != nil {
-		return err
-	}
-	opt := optSol.Weight
-	n := inst.Graph.N()
-
-	tab := newTable("algorithm", "rounds", "total bits", "achieved weight", "quality vs OPT", "exact?")
-	type algo struct {
-		name     string
-		programs []congest.NodeProgram
-		exact    bool
-		setsOut  bool // outputs are []NodeID rather than membership bools
-	}
-	for _, a := range []algo{
-		{name: "Luby MIS (randomised, maximal)", programs: congestalg.NewLubyPrograms(n)},
-		{name: "RankGreedy (deterministic, weight-greedy)", programs: congestalg.NewRankGreedyPrograms(n)},
-		{name: "GossipExact (flooding, exact)", programs: congestalg.NewGossipExactProgramsWith(w.Solve, n), exact: true, setsOut: true},
-		{name: "CollectSolve (BFS-tree convergecast, exact)", programs: congestalg.NewCollectSolveProgramsWith(w.Solve, n), exact: true},
-	} {
-		net, err := congest.NewNetwork(inst.Graph, a.programs, congest.Config{Seed: 3})
-		if err != nil {
-			return err
-		}
-		result, err := net.Run()
-		if err != nil {
-			return err
-		}
-		var set []int
-		if a.setsOut {
-			set, err = congestalg.ExactSetFromOutputs(result)
-			if err != nil {
-				return err
-			}
-		} else {
-			set = congestalg.MembershipSet(result)
-		}
-		achieved, err := mis.Verify(inst.Graph, set)
-		if err != nil {
-			return err
-		}
-		if a.exact {
-			c.assert(achieved == opt, "%s achieved %d, optimum %d", a.name, achieved, opt)
-		} else {
-			c.assert(achieved <= opt, "heuristic beat the optimum?")
-		}
-		tab.add(a.name, result.Stats.Rounds, result.Stats.TotalBits, achieved,
-			fmt.Sprintf("%.3f", float64(achieved)/float64(opt)), a.exact)
-	}
-	tab.write(w)
-	fmt.Fprintf(w, "The fast algorithms terminate in few rounds but only guarantee Δ-flavoured quality; "+
-		"exactness needs the heavyweight universal algorithm — the regime the paper's lower bounds target: "+
-		"any algorithm beating (1/2+ε) must pay nearly linear rounds, and (3/4+ε) nearly quadratic.\n")
-	return c.err()
+	return s
 }
+
+// worker drains the queue until the scheduler closes. Jobs claimed inline
+// by their gatherer are skipped — the atomic claim makes the race benign.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		j.claim()
+	}
+}
+
+// next pops the next job — oldest instance job first, then oldest
+// experiment job — blocking while both queues are empty and the
+// scheduler is open. nil means closed.
+func (s *Scheduler) next() *instanceJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.inst) > 0 {
+			j := s.inst[0]
+			s.inst[0] = nil
+			s.inst = s.inst[1:]
+			return j
+		}
+		if len(s.exp) > 0 {
+			j := s.exp[0]
+			s.exp[0] = nil
+			s.exp = s.exp[1:]
+			return j
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// submit enqueues an instance job and wakes a worker.
+func (s *Scheduler) submit(j *instanceJob) {
+	s.mu.Lock()
+	s.inst = append(s.inst, j)
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Submit enqueues fn as a pool job and returns a function that blocks
+// until it has run. This is the runner's experiment-level entry point; the
+// returned wait must not be called from a pool worker (experiment-level
+// jobs are waited on by the runner's flush goroutine, which is outside
+// the pool — instance-level jobs use Ctx.Gather, which helps instead of
+// blocking).
+func (s *Scheduler) Submit(fn func()) (wait func()) {
+	j := &instanceJob{fn: func() error { fn(); return nil }, done: make(chan struct{})}
+	s.mu.Lock()
+	s.exp = append(s.exp, j)
+	s.mu.Unlock()
+	s.cond.Signal()
+	return func() { <-j.done }
+}
+
+// Close stops the workers after the queue drains. Submitted jobs all
+// complete; submitting after Close panics.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}
+
+// Ctx is the execution context handed to every experiment run: the report
+// writer (embedded, so a *Ctx is written to directly), the solve session
+// through which the experiment's exact MaxIS work is routed, the build
+// session attributing its lower-bound graph constructions, and the
+// scheduler behind Ctx.Go/Ctx.Gather. The sessions carry the run's solver
+// worker count into every branch-and-bound call and book the cache
+// traffic the experiment generates — which is what makes the runner's
+// per-experiment envelope attribution exact at any -jobs count.
+type Ctx struct {
+	io.Writer
+	// Solve memoises and attributes this run's exact solves; never nil
+	// when built by NewCtx.
+	Solve *cache.Session
+	// Builds memoises and attributes this run's lower-bound graph
+	// constructions; never nil when built by NewCtx.
+	Builds *lbgraph.CacheSession
+
+	// sched executes Go's jobs; nil runs them inline at submission (the
+	// sequential mode of experiments.RunAll and direct Run calls).
+	sched   *Scheduler
+	pending []*instanceJob
+	jobs    int64
+}
+
+// NewCtx builds an experiment context. A nil writer discards the report;
+// nil sessions get fresh ones over the shared caches. Without a scheduler
+// (WithScheduler), Go runs jobs inline — exactly the sequential pipeline.
+func NewCtx(w io.Writer, solve *cache.Session) *Ctx {
+	if w == nil {
+		w = io.Discard
+	}
+	if solve == nil {
+		solve = cache.NewSession(nil, 0)
+	}
+	return &Ctx{Writer: w, Solve: solve, Builds: lbgraph.NewCacheSession(nil)}
+}
+
+// WithScheduler routes this context's Go jobs through the given pool and
+// returns the context. A nil scheduler keeps the inline mode.
+func (w *Ctx) WithScheduler(s *Scheduler) *Ctx {
+	w.sched = s
+	return w
+}
+
+// Go submits one per-instance job. With a scheduler the job runs on the
+// shared pool; without one it runs inline immediately, making the
+// sequential and sharded paths the same code. fn must not write to the
+// Ctx or mutate experiment state shared with other jobs — it computes
+// into its own result slot, which the experiment reads after Gather.
+// Go/Gather are experiment-goroutine-only: jobs must not call them.
+func (w *Ctx) Go(fn func() error) {
+	w.jobs++
+	if w.sched == nil {
+		j := &instanceJob{fn: fn}
+		j.err = fn()
+		j.state.Store(jobDone)
+		w.pending = append(w.pending, j)
+		return
+	}
+	j := &instanceJob{fn: fn, done: make(chan struct{})}
+	w.pending = append(w.pending, j)
+	w.sched.submit(j)
+}
+
+// Gather waits for every outstanding Go job and returns the error of the
+// earliest-submitted failing one (nil if all succeeded) — matching the
+// error a sequential early-returning loop reports, which keeps failure
+// output byte-identical. It first claims every still-queued job of this
+// context and runs it inline (the deadlock-avoidance rule: never block
+// on work no worker owns), and only then blocks on the jobs other
+// workers are executing — so the gatherer's own work overlaps with
+// theirs instead of serialising behind the first running job.
+func (w *Ctx) Gather() error {
+	if w.sched != nil {
+		for _, j := range w.pending {
+			j.claim()
+		}
+		for _, j := range w.pending {
+			<-j.done // immediate for everything claimed above
+		}
+	}
+	var first error
+	for _, j := range w.pending {
+		if first == nil && j.err != nil {
+			first = j.err
+		}
+	}
+	w.pending = w.pending[:0]
+	return first
+}
+
+// InstanceJobs reports how many jobs Go has submitted over the context's
+// lifetime — the per-instance count the runner records in the envelope.
+func (w *Ctx) InstanceJobs() int64 { return w.jobs }

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestCtxGoInlineMatchesScheduled pins the two execution modes to the
+// same observable results: slot contents and the Gather error.
+func TestCtxGoInlineMatchesScheduled(t *testing.T) {
+	run := func(sched *Scheduler) ([]int, error) {
+		w := NewCtx(nil, nil).WithScheduler(sched)
+		results := make([]int, 8)
+		for i := 0; i < 8; i++ {
+			i := i
+			w.Go(func() error {
+				results[i] = i * i
+				if i == 3 || i == 5 {
+					return fmt.Errorf("job %d failed", i)
+				}
+				return nil
+			})
+		}
+		err := w.Gather()
+		return results, err
+	}
+
+	inline, inlineErr := run(nil)
+	for _, workers := range []int{1, 2, 4} {
+		s := NewScheduler(workers)
+		sharded, shardedErr := run(s)
+		s.Close()
+		for i := range inline {
+			if inline[i] != sharded[i] {
+				t.Fatalf("workers=%d: slot %d = %d, inline %d", workers, i, sharded[i], inline[i])
+			}
+		}
+		if inlineErr == nil || shardedErr == nil || inlineErr.Error() != shardedErr.Error() {
+			t.Fatalf("workers=%d: error %v, inline %v", workers, shardedErr, inlineErr)
+		}
+	}
+	// The earliest-submitted failure wins, matching a sequential
+	// early-returning loop.
+	if inlineErr.Error() != "job 3 failed" {
+		t.Fatalf("Gather returned %v, want the earliest failure", inlineErr)
+	}
+}
+
+// TestSchedulerNestedJobsNoDeadlock is the deadlock-avoidance rule under
+// maximum pressure: more gathering jobs than workers, each submitting
+// nested instance jobs into the same single-worker pool. Without the
+// claim-inline rule this configuration deadlocks immediately.
+func TestSchedulerNestedJobsNoDeadlock(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+
+	const outer, inner = 6, 10
+	var ran atomic.Int64
+	waits := make([]func(), outer)
+	for o := 0; o < outer; o++ {
+		waits[o] = s.Submit(func() {
+			w := NewCtx(nil, nil).WithScheduler(s)
+			for i := 0; i < inner; i++ {
+				w.Go(func() error {
+					ran.Add(1)
+					return nil
+				})
+			}
+			if err := w.Gather(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	for _, wait := range waits {
+		wait()
+	}
+	if got := ran.Load(); got != outer*inner {
+		t.Fatalf("ran %d nested jobs, want %d", got, outer*inner)
+	}
+}
+
+// TestCtxGatherReusable pins Gather's reset semantics: a second batch of
+// jobs after a Gather is independent of the first.
+func TestCtxGatherReusable(t *testing.T) {
+	s := NewScheduler(2)
+	defer s.Close()
+	w := NewCtx(nil, nil).WithScheduler(s)
+
+	w.Go(func() error { return errors.New("first batch") })
+	if err := w.Gather(); err == nil {
+		t.Fatal("first batch error lost")
+	}
+	w.Go(func() error { return nil })
+	if err := w.Gather(); err != nil {
+		t.Fatalf("second batch inherited the first batch's error: %v", err)
+	}
+	if w.InstanceJobs() != 2 {
+		t.Fatalf("InstanceJobs = %d, want 2", w.InstanceJobs())
+	}
+}

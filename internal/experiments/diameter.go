@@ -24,40 +24,65 @@ func runDiameter(w *Ctx) error {
 	var c check
 	const maxAllowed = 5
 	tab := newTable("family", "params", "n", "connected", "diameter")
-	for _, p := range []lbgraph.Params{
+	linParams := []lbgraph.Params{
 		lbgraph.FigureParams(2),
 		lbgraph.FigureParams(3),
 		{T: 2, Alpha: 1, Ell: 3},
 		{T: 3, Alpha: 1, Ell: 4},
 		{T: 2, Alpha: 2, Ell: 4},
-	} {
+	}
+	quadParams := []lbgraph.Params{lbgraph.FigureParams(2), {T: 2, Alpha: 1, Ell: 3}}
+	// One instance job per family member: build (cache-served on repeat
+	// sweeps) plus the all-pairs BFS behind Diameter.
+	type diamResult struct {
+		n, d      int
+		connected bool
+	}
+	linResults := make([]diamResult, len(linParams))
+	for i, p := range linParams {
 		l, err := lbgraph.NewLinear(p)
 		if err != nil {
 			return err
 		}
-		inst, err := l.BuildFixed()
-		if err != nil {
-			return err
-		}
-		d := inst.Graph.Diameter()
-		c.assert(inst.Graph.IsConnected(), "linear %v disconnected", p)
-		c.assert(d >= 0 && d <= maxAllowed, "linear %v diameter %d", p, d)
-		tab.add("linear", p.String(), inst.Graph.N(), inst.Graph.IsConnected(), d)
+		w.Go(func() error {
+			inst, err := l.BuildFixedWith(w.Builds)
+			if err != nil {
+				return err
+			}
+			linResults[i] = diamResult{n: inst.Graph.N(), d: inst.Graph.Diameter(), connected: inst.Graph.IsConnected()}
+			return nil
+		})
 	}
-	for _, p := range []lbgraph.Params{lbgraph.FigureParams(2), {T: 2, Alpha: 1, Ell: 3}} {
+	// The fixed quadratic graph is disconnected between its halves until
+	// input edges arrive; measure with the all-ones input which has NO
+	// input edges, and with one 0 bit which connects the halves.
+	quadResults := make([]diamResult, len(quadParams))
+	for i, p := range quadParams {
 		f, err := lbgraph.NewQuadratic(p)
 		if err != nil {
 			return err
 		}
-		// The fixed quadratic graph is disconnected between its halves
-		// until input edges arrive; measure with the all-ones input which
-		// has NO input edges, and with one 0 bit which connects the halves.
-		inst, err := f.BuildFixed()
-		if err != nil {
-			return err
-		}
-		d := inst.Graph.Diameter()
-		tab.add("quadratic (fixed, halves unlinked)", p.String(), inst.Graph.N(), inst.Graph.IsConnected(), d)
+		w.Go(func() error {
+			inst, err := f.BuildFixedWith(w.Builds)
+			if err != nil {
+				return err
+			}
+			quadResults[i] = diamResult{n: inst.Graph.N(), d: inst.Graph.Diameter(), connected: inst.Graph.IsConnected()}
+			return nil
+		})
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	for i, p := range linParams {
+		r := linResults[i]
+		c.assert(r.connected, "linear %v disconnected", p)
+		c.assert(r.d >= 0 && r.d <= maxAllowed, "linear %v diameter %d", p, r.d)
+		tab.add("linear", p.String(), r.n, r.connected, r.d)
+	}
+	for i, p := range quadParams {
+		r := quadResults[i]
+		tab.add("quadratic (fixed, halves unlinked)", p.String(), r.n, r.connected, r.d)
 	}
 	tab.write(w)
 	fmt.Fprintf(w, "The linear instances are connected with diameter ≤ "+fmt.Sprint(maxAllowed)+" across all parameterisations — "+

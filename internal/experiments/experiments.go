@@ -12,35 +12,7 @@ import (
 	"io"
 	"sort"
 	"strings"
-
-	"congestlb/internal/mis/cache"
 )
-
-// Ctx is the execution context handed to every experiment run: the report
-// writer (embedded, so a *Ctx is written to directly) plus the solve
-// session through which the experiment's exact MaxIS work is routed. The
-// session carries the run's solver worker count into every
-// branch-and-bound call and books the cache traffic and solver steps the
-// experiment generates — which is what makes the runner's per-experiment
-// envelope attribution exact at any -jobs count.
-type Ctx struct {
-	io.Writer
-	// Solve memoises and attributes this run's exact solves; never nil
-	// when built by NewCtx.
-	Solve *cache.Session
-}
-
-// NewCtx builds an experiment context. A nil writer discards the report; a
-// nil session gets a fresh one over the shared solve cache.
-func NewCtx(w io.Writer, solve *cache.Session) *Ctx {
-	if w == nil {
-		w = io.Discard
-	}
-	if solve == nil {
-		solve = cache.NewSession(nil, 0)
-	}
-	return &Ctx{Writer: w, Solve: solve}
-}
 
 // Experiment is one reproducible unit: it runs, verifies its own
 // assertions (returning an error on any mismatch), and writes a markdown

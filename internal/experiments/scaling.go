@@ -28,11 +28,17 @@ func runScaling(w *Ctx) error {
 	var c check
 	rng := rand.New(rand.NewSource(73))
 	tab := newTable("params", "n", "k", "∣cut∣", "rounds T", "blackboard bits", "bound T·∣cut∣·B", "utilisation")
-	for _, p := range []lbgraph.Params{
+	params := []lbgraph.Params{
 		{T: 2, Alpha: 1, Ell: 3}, // n=48,  k=4
 		{T: 3, Alpha: 1, Ell: 4}, // n=90,  k=5
 		{T: 4, Alpha: 1, Ell: 5}, // n=192, k=6
-	} {
+	}
+	// Each sweep point is one instance job: inputs are drawn sequentially
+	// (the RNG stream must match the sequential run), the build and the
+	// full CONGEST simulation run on the pool, and the rows flush in sweep
+	// order after Gather.
+	reports := make([]core.SimulationReport, len(params))
+	for i, p := range params {
 		l, err := lbgraph.NewLinear(p)
 		if err != nil {
 			return err
@@ -41,12 +47,26 @@ func runScaling(w *Ctx) error {
 		if err != nil {
 			return err
 		}
-		// CollectSolve keeps the sweep fast: its traffic rides the BFS
-		// tree instead of flooding every edge.
-		report, err := core.Simulate(l, in, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 11})
-		if err != nil {
-			return err
-		}
+		w.Go(func() error {
+			inst, err := l.BuildWith(w.Builds, in)
+			if err != nil {
+				return err
+			}
+			// CollectSolve keeps the sweep fast: its traffic rides the
+			// BFS tree instead of flooding every edge.
+			report, err := core.SimulateBuilt(l, in, inst, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 11})
+			if err != nil {
+				return err
+			}
+			reports[i] = report
+			return nil
+		})
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	for i, p := range params {
+		report := reports[i]
 		c.assert(report.AccountingHolds(), "%v: accounting violated", p)
 		c.assert(report.Correct(), "%v: wrong decision", p)
 		util := float64(report.BlackboardBits) / float64(report.AccountingBound)

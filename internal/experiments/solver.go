@@ -28,21 +28,31 @@ func runSolver(w *Ctx) error {
 	var c check
 	tab := newTable("params", "n", "case", "steps (natural cover)", "steps (greedy cover)", "same optimum")
 	rng := rand.New(rand.NewSource(59))
-	for _, p := range []lbgraph.Params{
+	params := []lbgraph.Params{
 		{T: 2, Alpha: 1, Ell: 3},
 		{T: 3, Alpha: 1, Ell: 4},
-	} {
+	}
+	cases := []struct {
+		name      string
+		intersect bool
+	}{
+		{name: "intersecting", intersect: true},
+		{name: "disjoint", intersect: false},
+	}
+	// One job per (params, case) cell: inputs are drawn sequentially in
+	// the original nesting order, the build and both cover solves run on
+	// the pool, rows flush in sweep order.
+	type coverCompare struct {
+		n                int
+		natural, greedy  mis.Solution
+	}
+	results := make([]coverCompare, len(params)*len(cases))
+	for pi, p := range params {
 		l, err := lbgraph.NewLinear(p)
 		if err != nil {
 			return err
 		}
-		for _, tc := range []struct {
-			name      string
-			intersect bool
-		}{
-			{name: "intersecting", intersect: true},
-			{name: "disjoint", intersect: false},
-		} {
+		for ci, tc := range cases {
 			var in bitvec.Inputs
 			if tc.intersect {
 				in, _, err = bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.4}, rng)
@@ -52,22 +62,35 @@ func runSolver(w *Ctx) error {
 			if err != nil {
 				return err
 			}
-			inst, err := l.Build(in)
-			if err != nil {
-				return err
-			}
-			natural, err := w.Solve.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
-			if err != nil {
-				return err
-			}
-			greedy, err := w.Solve.Exact(inst.Graph, mis.Options{})
-			if err != nil {
-				return err
-			}
-			c.assert(natural.Weight == greedy.Weight,
-				"%v %s: covers disagree on optimum (%d vs %d)", p, tc.name, natural.Weight, greedy.Weight)
-			tab.add(p.String(), inst.Graph.N(), tc.name, natural.Steps, greedy.Steps,
-				natural.Weight == greedy.Weight)
+			slot := pi*len(cases) + ci
+			w.Go(func() error {
+				inst, err := l.BuildWith(w.Builds, in)
+				if err != nil {
+					return err
+				}
+				natural, err := w.Solve.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+				if err != nil {
+					return err
+				}
+				greedy, err := w.Solve.Exact(inst.Graph, mis.Options{})
+				if err != nil {
+					return err
+				}
+				results[slot] = coverCompare{n: inst.Graph.N(), natural: natural, greedy: greedy}
+				return nil
+			})
+		}
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	for pi, p := range params {
+		for ci, tc := range cases {
+			r := results[pi*len(cases)+ci]
+			c.assert(r.natural.Weight == r.greedy.Weight,
+				"%v %s: covers disagree on optimum (%d vs %d)", p, tc.name, r.natural.Weight, r.greedy.Weight)
+			tab.add(p.String(), r.n, tc.name, r.natural.Steps, r.greedy.Steps,
+				r.natural.Weight == r.greedy.Weight)
 		}
 	}
 	tab.write(w)

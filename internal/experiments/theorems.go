@@ -64,24 +64,37 @@ func runTheorem1(w *Ctx) error {
 	asym.write(w)
 
 	// Corollary 1 instantiated on real built instances: measure the cut,
-	// plug in CC(k,t) = k/(t log t), divide by cut·log n.
-	inst := newTable("params", "n", "k", "∣cut∣", "CC bound (bits)", "round LB k/(t·logt·∣cut∣·log n)")
-	for _, p := range []lbgraph.Params{
+	// plug in CC(k,t) = k/(t log t), divide by cut·log n. One instance job
+	// per parameterisation; the builds are served from the build cache on
+	// repeat runs.
+	params := []lbgraph.Params{
 		{T: 2, Alpha: 1, Ell: 3},
 		{T: 3, Alpha: 1, Ell: 4},
 		{T: 4, Alpha: 1, Ell: 5},
 		{T: 2, Alpha: 2, Ell: 4},
-	} {
+	}
+	type measured struct{ cut, n int }
+	rows := make([]measured, len(params))
+	for i, p := range params {
 		l, err := lbgraph.NewLinear(p)
 		if err != nil {
 			return err
 		}
-		built, err := l.BuildFixed()
-		if err != nil {
-			return err
-		}
-		cut := built.Partition.CutSize(built.Graph)
-		n := built.Graph.N()
+		w.Go(func() error {
+			built, err := l.BuildFixedWith(w.Builds)
+			if err != nil {
+				return err
+			}
+			rows[i] = measured{cut: built.Partition.CutSize(built.Graph), n: built.Graph.N()}
+			return nil
+		})
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	inst := newTable("params", "n", "k", "∣cut∣", "CC bound (bits)", "round LB k/(t·logt·∣cut∣·log n)")
+	for i, p := range params {
+		cut, n := rows[i].cut, rows[i].n
 		k := p.K()
 		lb := core.RoundLowerBound(k, p.T, cut, n)
 		inst.add(p.String(), n, k, cut, cc.LowerBoundBits(k, p.T), lb)
@@ -106,24 +119,38 @@ func runTheorem2(w *Ctx) error {
 	}
 	asym.write(w)
 
-	inst := newTable("params", "n", "input bits k²", "∣cut∣", "round LB k²/(t·logt·∣cut∣·log n)")
-	for _, p := range []lbgraph.Params{
+	params := []lbgraph.Params{
 		lbgraph.FigureParams(2),
 		lbgraph.FigureParams(3),
 		{T: 2, Alpha: 1, Ell: 4},
-	} {
+	}
+	type measured struct{ cut, n, k2 int }
+	rows := make([]measured, len(params))
+	for i, p := range params {
 		f, err := lbgraph.NewQuadratic(p)
 		if err != nil {
 			return err
 		}
-		built, err := f.BuildFixed()
-		if err != nil {
-			return err
-		}
-		cut := built.Partition.CutSize(built.Graph)
-		n := built.Graph.N()
-		k2 := f.InputBits()
-		inst.add(p.String(), n, k2, cut, core.RoundLowerBound(k2, p.T, cut, n))
+		w.Go(func() error {
+			built, err := f.BuildFixedWith(w.Builds)
+			if err != nil {
+				return err
+			}
+			rows[i] = measured{
+				cut: built.Partition.CutSize(built.Graph),
+				n:   built.Graph.N(),
+				k2:  f.InputBits(),
+			}
+			return nil
+		})
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	inst := newTable("params", "n", "input bits k²", "∣cut∣", "round LB k²/(t·logt·∣cut∣·log n)")
+	for i, p := range params {
+		m := rows[i]
+		inst.add(p.String(), m.n, m.k2, m.cut, core.RoundLowerBound(m.k2, p.T, m.cut, m.n))
 	}
 	inst.write(w)
 	fmt.Fprintf(w, "The quadratic family feeds k² = Θ(n²) input bits through the same polylog cut, "+
@@ -135,12 +162,17 @@ func runTheorem3(w *Ctx) error {
 	var c check
 	tab := newTable("k", "t", "Ω(k/(t log t)) bits", "write-all cost t·k", "probe cost k+1", "protocols correct")
 	rng := rand.New(rand.NewSource(23))
-	for _, cfg := range []struct{ k, t int }{
+	configs := []struct{ k, t int }{
 		{k: 64, t: 2}, {k: 256, t: 3}, {k: 1024, t: 4}, {k: 4096, t: 8},
-	} {
+	}
+	// Instance generation consumes the shared RNG and stays sequential;
+	// the protocol audits — the per-configuration work — run as jobs.
+	type audits struct{ writeAll, probe cc.RunReport }
+	results := make([]audits, len(configs))
+	for i, cfg := range configs {
 		instances := make([]bitvec.Inputs, 0, 30)
 		truths := make([]bool, 0, 30)
-		for i := 0; i < 30; i++ {
+		for j := 0; j < 30; j++ {
 			in, truth, err := bitvec.RandomPromiseInstance(cfg.k, cfg.t, bitvec.GenOptions{Density: 0.4}, 0.5, rng)
 			if err != nil {
 				return err
@@ -148,14 +180,24 @@ func runTheorem3(w *Ctx) error {
 			instances = append(instances, in)
 			truths = append(truths, truth)
 		}
-		writeAll, err := cc.Audit(cc.WriteAll{}, instances, truths)
-		if err != nil {
-			return err
-		}
-		probe, err := cc.Audit(cc.FirstPlayerProbe{}, instances, truths)
-		if err != nil {
-			return err
-		}
+		w.Go(func() error {
+			writeAll, err := cc.Audit(cc.WriteAll{}, instances, truths)
+			if err != nil {
+				return err
+			}
+			probe, err := cc.Audit(cc.FirstPlayerProbe{}, instances, truths)
+			if err != nil {
+				return err
+			}
+			results[i] = audits{writeAll: writeAll, probe: probe}
+			return nil
+		})
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	for i, cfg := range configs {
+		writeAll, probe := results[i].writeAll, results[i].probe
 		c.assert(writeAll.Wrong == 0 && probe.Wrong == 0, "protocol errors at k=%d t=%d", cfg.k, cfg.t)
 		lower := cc.LowerBoundBits(cfg.k, cfg.t)
 		c.assert(float64(probe.MaxBits) >= lower, "probe cost below the information bound")
@@ -169,27 +211,44 @@ func runTheorem3(w *Ctx) error {
 	// Empirical converse: protocols communicating o(k) bits must err. The
 	// truncated probe announces only a prefix of x^1; its error on
 	// uniformly-placed intersections grows as the prefix shrinks, exactly
-	// as the Ω(k/(t log t)) bound (for error ≤ 1/3) demands.
+	// as the Ω(k/(t log t)) bound (for error ≤ 1/3) demands. Inputs are
+	// drawn sequentially per prefix; each prefix's 200 probe trials are
+	// one job.
 	const k, trials = 512, 200
 	rng2 := rand.New(rand.NewSource(47))
-	trunc := newTable("prefix bits announced", "cost (bits)", "error rate on intersecting inputs", "≤1/3 error feasible?")
-	for _, prefix := range []int{k, 3 * k / 4, k / 2, k / 4, k / 16} {
-		wrong := 0
-		for i := 0; i < trials; i++ {
+	prefixes := []int{k, 3 * k / 4, k / 2, k / 4, k / 16}
+	wrongs := make([]int, len(prefixes))
+	for i, prefix := range prefixes {
+		inputs := make([]bitvec.Inputs, trials)
+		for tr := 0; tr < trials; tr++ {
 			in, _, err := bitvec.RandomUniquelyIntersecting(k, 2, bitvec.GenOptions{Density: 0.2}, rng2)
 			if err != nil {
 				return err
 			}
-			var bb cc.Blackboard
-			got, err := cc.TruncatedProbe{PrefixBits: prefix}.Run(in, &bb)
-			if err != nil {
-				return err
-			}
-			if got {
-				wrong++
-			}
+			inputs[tr] = in
 		}
-		rate := float64(wrong) / trials
+		w.Go(func() error {
+			wrong := 0
+			for _, in := range inputs {
+				var bb cc.Blackboard
+				got, err := cc.TruncatedProbe{PrefixBits: prefix}.Run(in, &bb)
+				if err != nil {
+					return err
+				}
+				if got {
+					wrong++
+				}
+			}
+			wrongs[i] = wrong
+			return nil
+		})
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	trunc := newTable("prefix bits announced", "cost (bits)", "error rate on intersecting inputs", "≤1/3 error feasible?")
+	for i, prefix := range prefixes {
+		rate := float64(wrongs[i]) / trials
 		trunc.add(prefix, prefix+1, rate, rate <= 1.0/3)
 		if prefix == k {
 			c.assert(rate == 0, "full prefix erred at rate %f", rate)
@@ -222,13 +281,17 @@ func runTheorem5(w *Ctx) error {
 		{name: "GossipExact", factory: core.GossipProgramsWith(w.Solve), extract: core.GossipOpt},
 		{name: "CollectSolve", factory: core.CollectProgramsWith(w.Solve), extract: core.WitnessOpt},
 	}
-	for _, tc := range []struct {
+	cases := []struct {
 		name      string
 		intersect bool
 	}{
 		{name: "uniquely intersecting", intersect: true},
 		{name: "pairwise disjoint", intersect: false},
-	} {
+	}
+	// One instance job per (case, algorithm) pair: input generation stays
+	// on the RNG stream, both algorithms of a case share the cached build.
+	reports := make([]core.SimulationReport, len(cases)*len(algos))
+	for ci, tc := range cases {
 		var in bitvec.Inputs
 		if tc.intersect {
 			in, _, err = bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
@@ -238,11 +301,28 @@ func runTheorem5(w *Ctx) error {
 		if err != nil {
 			return err
 		}
-		for _, a := range algos {
-			report, err := core.Simulate(l, in, a.factory, a.extract, congest.Config{Seed: 5})
-			if err != nil {
-				return err
-			}
+		for ai, a := range algos {
+			slot := ci*len(algos) + ai
+			w.Go(func() error {
+				inst, err := l.BuildWith(w.Builds, in)
+				if err != nil {
+					return err
+				}
+				report, err := core.SimulateBuilt(l, in, inst, a.factory, a.extract, congest.Config{Seed: 5})
+				if err != nil {
+					return err
+				}
+				reports[slot] = report
+				return nil
+			})
+		}
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	for ci, tc := range cases {
+		for ai, a := range algos {
+			report := reports[ci*len(algos)+ai]
 			c.assert(report.AccountingHolds(), "%s/%s: accounting violated", a.name, tc.name)
 			c.assert(report.Correct(), "%s/%s: wrong decision", a.name, tc.name)
 			tab.add(a.name, tc.name, report.Rounds, report.CutSize, report.Bandwidth,
@@ -261,22 +341,33 @@ func runTheorem5(w *Ctx) error {
 func runCutSize(w *Ctx) error {
 	var c check
 	tab := newTable("params", "k", "measured ∣cut∣", "paper claim t²log²k", "counted t(t−1)/2·M·q(q−1)", "measured/claim")
-	for _, p := range []lbgraph.Params{
+	params := []lbgraph.Params{
 		{T: 2, Alpha: 1, Ell: 3},
 		{T: 3, Alpha: 1, Ell: 4},
 		{T: 2, Alpha: 2, Ell: 4},
 		{T: 4, Alpha: 1, Ell: 5},
 		{T: 2, Alpha: 2, Ell: 8},
-	} {
+	}
+	cuts := make([]int, len(params))
+	for i, p := range params {
 		l, err := lbgraph.NewLinear(p)
 		if err != nil {
 			return err
 		}
-		inst, err := l.BuildFixed()
-		if err != nil {
-			return err
-		}
-		measured := inst.Partition.CutSize(inst.Graph)
+		w.Go(func() error {
+			inst, err := l.BuildFixedWith(w.Builds)
+			if err != nil {
+				return err
+			}
+			cuts[i] = inst.Partition.CutSize(inst.Graph)
+			return nil
+		})
+	}
+	if err := w.Gather(); err != nil {
+		return err
+	}
+	for i, p := range params {
+		measured := cuts[i]
 		counted := (p.T * (p.T - 1) / 2) * p.M() * p.Q() * (p.Q() - 1)
 		c.assert(measured == counted, "%v: measured %d != counted %d", p, measured, counted)
 		logK := math.Log2(float64(p.K()))

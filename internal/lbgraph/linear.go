@@ -142,8 +142,20 @@ func (l *Linear) CodeNodes(i, m int) []graphs.NodeID {
 
 // BuildFixed constructs the fixed graph G (all weights 1) with its player
 // partition and natural clique cover. The weights of G_x̄ are applied on
-// top by Build.
+// top by Build. Repeated builds are served from the shared build cache as
+// private deep copies; see cache.go.
 func (l *Linear) BuildFixed() (core.Instance, error) {
+	return l.BuildFixedWith(nil)
+}
+
+// BuildFixedWith is BuildFixed with the cache traffic attributed to the
+// given session (nil = shared cache, no attribution).
+func (l *Linear) BuildFixedWith(sess *CacheSession) (core.Instance, error) {
+	return sess.instance(l.fixedKey(), l.buildFixedUncached)
+}
+
+// buildFixedUncached performs the actual construction.
+func (l *Linear) buildFixedUncached() (core.Instance, error) {
 	p := l.p
 	k, m, q, t := p.K(), p.M(), p.Q(), p.T
 	g := graphs.New(t * p.NodesPerCopy())
@@ -237,10 +249,17 @@ func (l *Linear) BuildFixed() (core.Instance, error) {
 // Build implements core.Family: the fixed graph with the x̄-dependent
 // weights w(v^i_m) = ℓ if x^i_m = 1 else 1.
 func (l *Linear) Build(in bitvec.Inputs) (core.Instance, error) {
+	return l.BuildWith(nil, in)
+}
+
+// BuildWith is Build with the fixed-construction cache traffic attributed
+// to the given session. The input weights are applied to the private copy
+// the cache returns, so the cached fixed graph is never mutated.
+func (l *Linear) BuildWith(sess *CacheSession, in bitvec.Inputs) (core.Instance, error) {
 	if err := l.checkInputs(in); err != nil {
 		return core.Instance{}, err
 	}
-	inst, err := l.BuildFixed()
+	inst, err := l.BuildFixedWith(sess)
 	if err != nil {
 		return core.Instance{}, err
 	}
@@ -293,13 +312,18 @@ func (l *Linear) WitnessLarge(in bitvec.Inputs, inst core.Instance) ([]graphs.No
 // — the object of the paper's Figure 1. It is the t=1 slice of the fixed
 // construction.
 func BuildBase(p Params) (*graphs.Graph, error) {
+	return BuildBaseWith(nil, p)
+}
+
+// BuildBaseWith is BuildBase with build-cache attribution.
+func BuildBaseWith(sess *CacheSession, p Params) (*graphs.Graph, error) {
 	single := p
 	single.T = 2 // NewLinear requires t ≥ 2; we keep only copy 0 below.
 	l, err := NewLinear(single)
 	if err != nil {
 		return nil, err
 	}
-	inst, err := l.BuildFixed()
+	inst, err := l.BuildFixedWith(sess)
 	if err != nil {
 		return nil, err
 	}

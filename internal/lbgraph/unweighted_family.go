@@ -52,9 +52,17 @@ func (u *UnweightedLinear) InputBits() int { return u.inner.InputBits() }
 func (u *UnweightedLinear) Gap() core.GapPredicate { return u.inner.Gap() }
 
 // Build implements core.Family: the weighted instance followed by the
-// Remark 1 blow-up, with the clique cover translated layer by layer.
+// Remark 1 blow-up, with the clique cover translated layer by layer. The
+// underlying fixed construction is served from the shared build cache;
+// the blow-up itself is linear in the output size and recomputed.
 func (u *UnweightedLinear) Build(in bitvec.Inputs) (core.Instance, error) {
-	weighted, err := u.inner.Build(in)
+	return u.BuildWith(nil, in)
+}
+
+// BuildWith is Build with the fixed-construction cache traffic attributed
+// to the given session.
+func (u *UnweightedLinear) BuildWith(sess *CacheSession, in bitvec.Inputs) (core.Instance, error) {
+	weighted, err := u.inner.BuildWith(sess, in)
 	if err != nil {
 		return core.Instance{}, err
 	}

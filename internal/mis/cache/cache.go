@@ -150,6 +150,32 @@ func (c *Cache) exact(g *graphs.Graph, opts mis.Options, sess *Session) (mis.Sol
 		sess.record(func(st *Stats) { st.StepsSaved += e.sol.Steps })
 		return clone(e.sol), nil
 	}
+	// A weight-only miss may be served by a completed canonical solve of
+	// the same graph: a canonical Solution is a strict superset of what a
+	// weight-only caller needs (same Weight/Optimal, valid witness). The
+	// reverse never holds — a weight-only witness is schedule-dependent —
+	// which is why the flag is in the key at all. In-flight canonical
+	// solves are not waited on (the rare race costs one duplicate solve,
+	// not a wrong answer).
+	if opts.WeightOnly {
+		canonOpts := opts
+		canonOpts.WeightOnly = false
+		if ckey, cok := KeyOf(g, canonOpts); cok {
+			if cel, found := c.index[ckey]; found {
+				if ce := cel.Value.(*entry); ce.done && ce.err == nil {
+					c.lru.MoveToFront(cel)
+					c.stats.Hits++
+					c.stats.StepsSaved += ce.sol.Steps
+					c.mu.Unlock()
+					sess.record(func(st *Stats) {
+						st.Hits++
+						st.StepsSaved += ce.sol.Steps
+					})
+					return clone(ce.sol), nil
+				}
+			}
+		}
+	}
 	e := &entry{key: key, ready: make(chan struct{})}
 	el := c.lru.PushFront(e)
 	c.index[key] = el
@@ -301,7 +327,7 @@ func clone(sol mis.Solution) mis.Solution {
 // node count, per-node weights, the sorted edge list, the clique cover as
 // a canonical partition (clique ids renumbered by first appearance in node
 // order, so the same partition hashes identically however its parts are
-// ordered) and the step budget. It depends only on the graph's final
+// ordered), the step budget and the WeightOnly flag. It depends only on the graph's final
 // content — never on labels or on the order nodes and edges were inserted.
 // ok is false when the cover is malformed (a node missing, repeated or out
 // of range); such solves are uncacheable and fall through to mis.Exact,
@@ -357,6 +383,14 @@ func KeyOf(g *graphs.Graph, opts mis.Options) (Key, bool) {
 		}
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(opts.MaxSteps))
+	// Weight-only solves may carry a schedule-dependent (non-canonical)
+	// witness set, so they must never share an entry with solves whose
+	// callers rely on the canonical witness.
+	if opts.WeightOnly {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
 	return sha256.Sum256(buf), true
 }
 

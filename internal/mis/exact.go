@@ -41,6 +41,18 @@ type Options struct {
 	// the sequential engine's. Only Solution.Steps (work performed, not
 	// part of the result) varies between parallel runs.
 	Workers int
+	// WeightOnly declares that the caller consumes Solution.Weight alone.
+	// The parallel engine then skips its canonicalisation pass — the
+	// serial tail that replays the sequential DFS to stabilise the witness
+	// (~10% of a solve) — and returns whichever optimal set the worker
+	// race kept. Weight and Optimal are exactly as without the flag;
+	// Solution.Set remains a valid maximum-weight independent set but is
+	// schedule-dependent at Workers > 1. Gap checks and other
+	// value-consumers set this; anything that compares or stores witness
+	// sets must not. The flag participates in the solve-cache key
+	// (internal/mis/cache), so weight-only solves can never serve a
+	// caller that expects the canonical witness.
+	WeightOnly bool
 }
 
 const defaultMaxSteps = 50_000_000
@@ -115,6 +127,7 @@ func Exact(g *graphs.Graph, opts Options) (Solution, error) {
 		maxSteps = defaultMaxSteps
 	}
 	st := newExactState(g, cover, maxSteps)
+	st.weightOnly = opts.WeightOnly
 	if workers := resolveWorkers(opts.Workers, n); workers > 1 {
 		return exactParallel(st, workers)
 	}
@@ -134,8 +147,12 @@ type exactState struct {
 	nCliques int
 
 	maxSteps int64
-	steps    atomic.Int64 // explored nodes; workers flush in batches
-	stop     atomic.Bool  // budget exhausted: every worker unwinds
+	// weightOnly skips the parallel engine's canonicalisation pass: the
+	// caller consumes the weight alone, so the schedule-dependent witness
+	// the race kept is good enough (Options.WeightOnly).
+	weightOnly bool
+	steps      atomic.Int64 // explored nodes; workers flush in batches
+	stop       atomic.Bool  // budget exhausted: every worker unwinds
 	// warmedUp gates donations: the first worker dives the root in
 	// sequential order for one step batch before the tree is split, so the
 	// incumbent is strong by the time top-level exclude branches start

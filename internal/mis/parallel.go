@@ -235,9 +235,11 @@ func exactParallel(st *exactState, workers int) (Solution, error) {
 	// still the seed set, which is exactly what the sequential engine
 	// returns (its strict-improvement update never fires either), so
 	// canonicalising would *introduce* a divergence rather than remove
-	// one.
+	// one. Weight-only callers (Options.WeightOnly) skip the pass
+	// entirely: it is the engine's serial tail, and they never look at
+	// the witness.
 	var canonSteps int64
-	if st.best.Load() > st.seedWeight {
+	if !st.weightOnly && st.best.Load() > st.seedWeight {
 		canonSteps = searchers[0].canonicalize()
 	}
 	return st.solution(true, total+canonSteps), nil

@@ -1,0 +1,64 @@
+package mis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWeightOnlyMatchesCanonicalWeight is the WeightOnly contract: at
+// every worker count the flag changes nothing about Weight or Optimal —
+// only the witness's canonicality. The returned set must still verify as
+// an independent set of exactly the optimal weight.
+func TestWeightOnlyMatchesCanonicalWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 6; trial++ {
+		n := parallelMinNodes + rng.Intn(16)
+		prob := 0.2 + 0.4*rng.Float64()
+		g := randomGraph(n, prob, 9, rng)
+
+		canonical, err := Exact(g, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			wo, err := Exact(g, Options{Workers: workers, WeightOnly: true})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if wo.Weight != canonical.Weight {
+				t.Fatalf("trial %d workers=%d: weight-only solve returned %d, canonical weight %d",
+					trial, workers, wo.Weight, canonical.Weight)
+			}
+			if !wo.Optimal {
+				t.Fatalf("trial %d workers=%d: weight-only solve not flagged optimal", trial, workers)
+			}
+			// The witness is schedule-dependent but must stay a valid
+			// independent set of the optimal weight.
+			if w, err := Verify(g, wo.Set); err != nil || w != wo.Weight {
+				t.Fatalf("trial %d workers=%d: weight-only witness invalid: w=%d err=%v",
+					trial, workers, w, err)
+			}
+		}
+	}
+}
+
+// TestWeightOnlySkipsCanonicalisation pins the point of the flag: on a
+// solve where the parallel engine improves on the greedy seed, the
+// weight-only run must not pay the canonicalisation replay. Steps is
+// schedule-dependent, so the assertion is structural instead: a
+// sequential weight-only solve is bit-identical to a canonical one (the
+// sequential engine has no canonicalisation pass to skip).
+func TestWeightOnlySkipsCanonicalisation(t *testing.T) {
+	g := parallelTestGraph(parallelMinNodes+12, 0.3, 55)
+	seq, err := Exact(g, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqWO, err := Exact(g, Options{Workers: 1, WeightOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqWO.Weight != seq.Weight || seqWO.Steps != seq.Steps {
+		t.Fatalf("sequential weight-only diverged: %+v vs %+v", seqWO, seq)
+	}
+}

@@ -11,17 +11,29 @@
 //     sequential pipeline; with many, only wall-clock changes.
 //   - Every run also produces a structured JSON result envelope — one
 //     record per experiment (status, wall time, exact-solver work, solve
-//     cache traffic) plus run-level totals — so CI and tooling consume
-//     results without parsing markdown. cmd/benchjson validates the
-//     envelope; .github/workflows/ci.yml archives it.
+//     and build cache traffic, instance-job count) plus run-level totals —
+//     so CI and tooling consume results without parsing markdown.
+//     cmd/benchjson validates the envelope; .github/workflows/ci.yml
+//     archives it.
+//
+// Sharding happens at two levels over one experiments.Scheduler pool:
+// each experiment is a pool job, and the sweep loops inside an experiment
+// submit their per-instance work (build + simulate + solve of one sweep
+// point) back into the same pool via Ctx.Go/Ctx.Gather. Nested gathering
+// cannot deadlock the pool: a gatherer claims its still-queued jobs and
+// runs them inline rather than blocking on them (see
+// internal/experiments/context.go). The pool size is therefore NOT
+// clamped to the experiment count — extra workers drain instance jobs.
 //
 // Experiments run concurrently, so their solver work meets in the shared
-// content-addressed solve cache (internal/mis/cache): a graph solved by
-// one job is a cache hit for every other job that builds the same graph.
-// Each job nevertheless sees only its own traffic: it runs under a private
-// cache.Session, which is what makes the per-experiment solver/cache
-// numbers in the envelope exact at any pool size (they used to be diffs of
-// process-global counters, approximate whenever jobs overlapped).
+// content-addressed solve cache (internal/mis/cache) and their graph
+// constructions in the shared build cache (internal/lbgraph): a graph
+// solved or built by one job is a cache hit for every other job that
+// needs the same one. Each job nevertheless sees only its own traffic: it
+// runs under private cache.Session / lbgraph.CacheSession views, which is
+// what makes the per-experiment numbers in the envelope exact at any pool
+// size (they used to be diffs of process-global counters, approximate
+// whenever jobs overlapped).
 package runner
 
 import (
@@ -33,15 +45,17 @@ import (
 	"time"
 
 	"congestlb/internal/experiments"
+	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
 	"congestlb/internal/mis/cache"
 )
 
 // Schema identifies the envelope format; bump when fields change meaning.
-// v2: per-experiment solver/cache numbers are exact per-job attribution
-// (not global-counter diffs), solver_workers records the run's solver
-// parallelism, and the run-level cache block carries disk-tier traffic.
-const Schema = "congestlb/experiment-envelope/v2"
+// v3: per-experiment instance_jobs (intra-experiment sharding) and
+// lbgraph_hits/lbgraph_misses (build-cache attribution), run-level
+// lbgraph_cache block, and Jobs is no longer clamped to the experiment
+// count (extra workers run instance jobs).
+const Schema = "congestlb/experiment-envelope/v3"
 
 // Experiment statuses in the envelope.
 const (
@@ -52,7 +66,8 @@ const (
 // Options configures a Run.
 type Options struct {
 	// Jobs is the worker-pool size; values < 1 select GOMAXPROCS. The
-	// pool is clamped to the number of experiments.
+	// pool is shared between experiment-level and per-instance jobs, so
+	// values above the experiment count still buy parallelism.
 	Jobs int
 	// SolverWorkers is the branch-and-bound worker count stamped onto
 	// every exact solve of the run (0 = the solver's default, GOMAXPROCS).
@@ -71,6 +86,9 @@ type ExperimentResult struct {
 	Error string `json:"error,omitempty"`
 	// WallMS is the experiment's wall-clock time in milliseconds.
 	WallMS float64 `json:"wall_ms"`
+	// InstanceJobs counts the per-instance jobs the experiment submitted
+	// to the shared pool via Ctx.Go — the intra-experiment sharding grain.
+	InstanceJobs int64 `json:"instance_jobs"`
 	// SolveSteps is the branch-and-bound work (solver steps) performed on
 	// behalf of this experiment; CacheHits/CacheMisses are the solve-cache
 	// lookups it triggered, and StepsSaved the solver work those hits
@@ -82,6 +100,11 @@ type ExperimentResult struct {
 	StepsSaved  int64  `json:"steps_saved"`
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// LBGraphHits/LBGraphMisses are the experiment's lower-bound graph
+	// build-cache lookups, attributed exactly through its private
+	// lbgraph.CacheSession.
+	LBGraphHits   uint64 `json:"lbgraph_hits"`
+	LBGraphMisses uint64 `json:"lbgraph_misses"`
 }
 
 // Envelope is the structured result of one runner invocation.
@@ -104,6 +127,9 @@ type Envelope struct {
 	// Entries is the cache's occupancy level at the end of the run, not a
 	// delta.
 	Cache cache.Stats `json:"cache"`
+	// LBGraph reports the shared lower-bound-graph build cache's traffic
+	// across the run, with the same delta/occupancy convention as Cache.
+	LBGraph lbgraph.CacheStats `json:"lbgraph_cache"`
 	// Experiments holds one record per experiment, in report order.
 	Experiments []ExperimentResult `json:"experiments"`
 }
@@ -118,12 +144,6 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	jobs := opts.Jobs
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
-	}
-	if jobs > len(exps) {
-		jobs = len(exps)
-	}
-	if jobs < 1 {
-		jobs = 1
 	}
 	if w == nil {
 		w = io.Discard
@@ -144,11 +164,15 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	}
 	start := time.Now()
 	cacheBefore := cache.Shared().Stats()
+	buildBefore := lbgraph.SharedBuildCache().Stats()
 
+	// One scheduler serves both levels: experiment jobs submitted here and
+	// the per-instance jobs those experiments fan out through Ctx.Go.
 	// Each job owns the buffer and result slot of its experiment index;
 	// done[i] is closed when slot i is final. The flush loop below waits
 	// on the slots in order, so output streams as soon as the next
 	// experiment in report order has finished — not only at the end.
+	sched := experiments.NewScheduler(jobs)
 	type slot struct {
 		buf  strings.Builder
 		done chan struct{}
@@ -157,21 +181,12 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	for i := range slots {
 		slots[i] = &slot{done: make(chan struct{})}
 	}
-	tasks := make(chan int)
-	for worker := 0; worker < jobs; worker++ {
-		go func() {
-			for i := range tasks {
-				runOne(exps[i], &slots[i].buf, &env.Experiments[i], opts.SolverWorkers)
-				close(slots[i].done)
-			}
-		}()
+	for i := range exps {
+		sched.Submit(func() {
+			runOne(exps[i], sched, &slots[i].buf, &env.Experiments[i], opts.SolverWorkers)
+			close(slots[i].done)
+		})
 	}
-	go func() {
-		for i := range exps {
-			tasks <- i
-		}
-		close(tasks)
-	}()
 
 	var writeErr error
 	for i := range slots {
@@ -181,6 +196,7 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 		}
 		slots[i].buf.Reset()
 	}
+	sched.Close()
 
 	env.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	cacheAfter := cache.Shared().Stats()
@@ -195,6 +211,13 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 		DiskMisses:    cacheAfter.DiskMisses - cacheBefore.DiskMisses,
 		DiskWrites:    cacheAfter.DiskWrites - cacheBefore.DiskWrites,
 		DiskEvictions: cacheAfter.DiskEvictions - cacheBefore.DiskEvictions,
+	}
+	buildAfter := lbgraph.SharedBuildCache().Stats()
+	env.LBGraph = lbgraph.CacheStats{
+		Hits:      buildAfter.Hits - buildBefore.Hits,
+		Misses:    buildAfter.Misses - buildBefore.Misses,
+		Evictions: buildAfter.Evictions - buildBefore.Evictions,
+		Entries:   buildAfter.Entries,
 	}
 
 	var failures []string
@@ -221,20 +244,34 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 
 // runOne executes a single experiment into its private buffer and fills
 // its envelope record. The markdown framing replicates experiments.RunAll
-// byte for byte. The private cache.Session makes the solver/cache numbers
-// exactly this experiment's, however many jobs run concurrently.
-func runOne(e experiments.Experiment, buf *strings.Builder, res *ExperimentResult, solverWorkers int) {
+// byte for byte. The private cache sessions make the solver/cache/build
+// numbers exactly this experiment's, however many jobs run concurrently;
+// the scheduler hands the experiment's Ctx.Go instance jobs to the shared
+// pool.
+func runOne(e experiments.Experiment, sched *experiments.Scheduler, buf *strings.Builder, res *ExperimentResult, solverWorkers int) {
 	res.ID, res.Title, res.PaperRef = e.ID, e.Title, e.PaperRef
 	fmt.Fprintf(buf, "## %s — %s\n\n*Reproduces: %s*\n\n", e.ID, e.Title, e.PaperRef)
 	sess := cache.NewSession(nil, solverWorkers)
+	ctx := experiments.NewCtx(buf, sess).WithScheduler(sched)
 	start := time.Now()
-	err := e.Run(experiments.NewCtx(buf, sess))
+	err := e.Run(ctx)
+	// An experiment that errors between Go and Gather leaves instance
+	// jobs queued or running. Drain them before snapshotting: their cache
+	// traffic belongs to this experiment's record, and a leaked job must
+	// not keep occupying a pool worker (or mutating this experiment's
+	// sessions) into later experiments' windows. Their errors are
+	// discarded — a sequential early-returning loop never ran them.
+	_ = ctx.Gather()
 	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	st := sess.Stats()
 	res.SolveSteps = st.StepsSolved
 	res.StepsSaved = st.StepsSaved
 	res.CacheHits = st.Hits
 	res.CacheMisses = st.Misses
+	bst := ctx.Builds.Stats()
+	res.LBGraphHits = bst.Hits
+	res.LBGraphMisses = bst.Misses
+	res.InstanceJobs = ctx.InstanceJobs()
 	if err != nil {
 		res.Status = StatusFailed
 		res.Error = err.Error()

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"congestlb/internal/experiments"
+	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis/cache"
 )
 
@@ -134,14 +135,59 @@ func TestPerJobAttributionExact(t *testing.T) {
 	}
 }
 
-func TestWorkerPoolClampedToExperiments(t *testing.T) {
-	exps := fastSubset(t)[:2]
-	env, err := Run(exps, Options{Jobs: 64}, io.Discard)
+// TestLBGraphAttributionExact is the build-cache twin of the solve-cache
+// attribution property: with a fresh shared build cache and overlapping
+// jobs, the per-experiment lbgraph session counters must sum exactly to
+// the run-level delta, and the sharded sweeps must record their instance
+// jobs.
+func TestLBGraphAttributionExact(t *testing.T) {
+	exps := fastSubset(t)
+	lbgraph.SharedBuildCache().Reset()
+	defer lbgraph.SharedBuildCache().Reset()
+	env, err := Run(exps, Options{Jobs: len(exps)}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if env.Jobs != 2 {
-		t.Fatalf("pool not clamped: jobs=%d", env.Jobs)
+	var hits, misses uint64
+	var instanceJobs int64
+	for _, r := range env.Experiments {
+		hits += r.LBGraphHits
+		misses += r.LBGraphMisses
+		instanceJobs += r.InstanceJobs
+	}
+	if hits != env.LBGraph.Hits || misses != env.LBGraph.Misses {
+		t.Fatalf("lbgraph attribution drifted: experiments sum %d/%d, run delta %d/%d",
+			hits, misses, env.LBGraph.Hits, env.LBGraph.Misses)
+	}
+	if misses == 0 {
+		t.Fatalf("fresh build cache saw no construction work: %+v", env.LBGraph)
+	}
+	// The subset includes sharded sweeps (cutsize, solver, twoparty), so
+	// the run must have fanned out per-instance jobs.
+	if instanceJobs == 0 {
+		t.Fatal("no instance jobs recorded — intra-experiment sharding inactive")
+	}
+	for _, r := range env.Experiments {
+		switch r.ID {
+		case "cutsize", "solver", "twoparty":
+			if r.InstanceJobs == 0 {
+				t.Errorf("%s: sweep experiment recorded no instance jobs", r.ID)
+			}
+		}
+	}
+}
+
+// TestWorkerPoolNotClampedToExperiments: since intra-experiment sharding,
+// pool workers beyond the experiment count drain per-instance jobs, so
+// the requested size is kept (and recorded) as-is.
+func TestWorkerPoolNotClampedToExperiments(t *testing.T) {
+	exps := fastSubset(t)[:2]
+	env, err := Run(exps, Options{Jobs: 8}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Jobs != 8 {
+		t.Fatalf("requested pool size not honoured: jobs=%d", env.Jobs)
 	}
 }
 
