@@ -6,9 +6,13 @@ package congestlb_test
 // whole evaluation and times it.
 
 import (
+	"context"
 	"io"
+	"math/rand"
 	"testing"
 
+	"congestlb"
+	"congestlb/internal/core"
 	"congestlb/internal/experiments"
 )
 
@@ -52,3 +56,47 @@ func BenchmarkExpAblations(b *testing.B)   { benchExperiment(b, "ablations") }
 func BenchmarkExpDiameter(b *testing.B)    { benchExperiment(b, "diameter") }
 func BenchmarkExpSolver(b *testing.B)      { benchExperiment(b, "solver") }
 func BenchmarkExpScaling(b *testing.B)     { benchExperiment(b, "scaling") }
+
+// BenchmarkLabOverhead measures what the Lab handle adds to a full
+// RunReduction on the figure instance, against the same reduction run
+// straight through the core machinery (both warm their respective solve
+// caches after the first iteration, so the steady state isolates the
+// handle's session/context plumbing). The two numbers must stay within
+// noise of each other — the Lab is indirection, not work.
+func BenchmarkLabOverhead(b *testing.B) {
+	p := congestlb.FigureParams(2)
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := congestlb.CongestConfig{Seed: 7}
+
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Simulate(fam, in, core.GossipPrograms, core.GossipOpt, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lab", func(b *testing.B) {
+		lab, err := congestlb.New()
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer lab.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := lab.RunReduction(ctx, fam, in, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -141,9 +141,15 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits bool) error {
 	fmt.Fprintf(w, "lbgraph build cache: %d hit / %d miss, %d entries\n",
 		env.LBGraph.Hits, env.LBGraph.Misses, env.LBGraph.Entries)
 	var failed []string
+	cancelled := 0
 	for _, e := range env.Experiments {
+		status := e.Status
+		if e.Cancelled {
+			status += " (cancelled)"
+			cancelled++
+		}
 		fmt.Fprintf(w, "  %-12s %-6s %8.1f ms  %10d steps  %d hit / %d miss  %d builds (%d hit)  %d instance jobs\n",
-			e.ID, e.Status, e.WallMS, e.SolveSteps, e.CacheHits, e.CacheMisses,
+			e.ID, status, e.WallMS, e.SolveSteps, e.CacheHits, e.CacheMisses,
 			e.LBGraphHits+e.LBGraphMisses, e.LBGraphHits, e.InstanceJobs)
 		if e.Status != runner.StatusOK {
 			failed = append(failed, fmt.Sprintf("%s: %s", e.ID, e.Error))
@@ -151,6 +157,9 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits bool) error {
 	}
 	if env.Failed != len(failed) {
 		return fmt.Errorf("benchjson: envelope claims %d failure(s) but lists %d", env.Failed, len(failed))
+	}
+	if env.Cancelled != cancelled {
+		return fmt.Errorf("benchjson: envelope claims %d cancellation(s) but flags %d", env.Cancelled, cancelled)
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("benchjson: %d experiment(s) not ok:\n  %s", len(failed), strings.Join(failed, "\n  "))

@@ -3,30 +3,37 @@
 // Usage:
 //
 //	experiments [-id figure1,theorem5] [-jobs 4] [-solver-workers 4]
-//	            [-cache-dir .solvecache] [-o report.md] [-json out.json] [-list]
+//	            [-cache-dir .solvecache] [-timeout 90s]
+//	            [-o report.md] [-json out.json] [-list]
 //
 // Without -id it runs every registered experiment and emits a combined
-// markdown report (the source of EXPERIMENTS.md's measured columns).
-// Experiments execute as shardable jobs over a worker pool (-jobs, default
-// GOMAXPROCS), and the sweep loops inside each experiment fan their
-// per-instance work (one build + simulate + solve per sweep point) back
-// into the same pool, so -jobs above the experiment count keeps buying
-// parallelism; the markdown report is byte-identical whatever the pool
-// size. -solver-workers sets the branch-and-bound parallelism of every
-// exact solve (default GOMAXPROCS; results are deterministic at any
-// setting). -cache-dir attaches the persistent solve-cache tier: re-runs
-// with the same directory serve previously solved graphs from disk and
-// skip branch-and-bound entirely. Lower-bound graph constructions are
-// memoised process-wide in the lbgraph build cache, so repeated sweep
-// points and cross-experiment reuse skip rebuilds. -json additionally
-// writes the structured result envelope (schema v3) — one record per
-// experiment with status, wall time, instance-job count, exactly-
-// attributed solver steps, solve-cache and build-cache statistics, plus
-// run-level disk-tier and build-cache traffic — which cmd/benchjson
-// -experiments validates and CI archives.
+// markdown report (the source of EXPERIMENTS.md's measured columns). Each
+// invocation runs inside its own congestlb.Lab built from the flags: -jobs
+// sizes the Lab's worker pool (experiments and their per-instance sweep
+// jobs share it; the markdown report is byte-identical whatever the pool
+// size), -solver-workers its branch-and-bound default (results are
+// deterministic at any setting), and -cache-dir its persistent solve-cache
+// tier — re-runs with the same directory serve previously solved graphs
+// from disk and skip branch-and-bound entirely. Lower-bound graph
+// constructions are memoised in the Lab's build cache, so repeated sweep
+// points and cross-experiment reuse skip rebuilds.
+//
+// -timeout bounds the whole run with a context deadline. On expiry the
+// run stops cooperatively — in-flight simulations at a round boundary,
+// in-flight solves on the solver's batched step cadence, queued work
+// before it starts — and the command exits non-zero after writing
+// whatever report sections completed plus a complete JSON envelope in
+// which every unfinished experiment is recorded with "cancelled": true.
+//
+// -json writes the structured result envelope (schema v4) — one record
+// per experiment with status, wall time, cancellation flag, instance-job
+// count, exactly-attributed solver steps, solve-cache and build-cache
+// statistics, plus run-level disk-tier and build-cache traffic — which
+// cmd/benchjson -experiments validates and CI archives.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -35,10 +42,7 @@ import (
 	"os"
 	"strings"
 
-	"congestlb/internal/experiments"
-	"congestlb/internal/mis"
-	"congestlb/internal/mis/cache"
-	"congestlb/internal/runner"
+	"congestlb"
 )
 
 func main() {
@@ -56,20 +60,10 @@ func run(args []string, stdout io.Writer) error {
 	jobs := fs.Int("jobs", 0, "experiment worker-pool size (default GOMAXPROCS)")
 	solverWorkers := fs.Int("solver-workers", 0, "branch-and-bound workers per exact solve (default GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "persistent solve-cache directory; re-runs serve solved graphs from disk")
+	timeout := fs.Duration("timeout", 0, "abort the run after this duration; unfinished experiments are recorded as cancelled (0 = no limit)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	if *solverWorkers > 0 {
-		// Package default too, so solves outside the runner's sessions
-		// (facade helpers, programs built without a session) agree.
-		defer mis.SetDefaultWorkers(mis.SetDefaultWorkers(*solverWorkers))
-	}
-	if *cacheDir != "" {
-		if err := cache.Shared().SetDir(*cacheDir, 0); err != nil {
-			return err
-		}
-		defer cache.Shared().SetDir("", 0)
 	}
 
 	w := stdout
@@ -83,10 +77,27 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *list {
-		for _, e := range experiments.All() {
+		for _, e := range congestlb.AllExperiments() {
 			fmt.Fprintf(w, "%-12s %s (%s)\n", e.ID, e.Title, e.PaperRef)
 		}
 		return nil
+	}
+
+	lab, err := congestlb.New(
+		congestlb.WithJobs(*jobs),
+		congestlb.WithSolverWorkers(*solverWorkers),
+		congestlb.WithSolveCacheDir(*cacheDir),
+	)
+	if err != nil {
+		return err
+	}
+	defer lab.Close()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var selected []string
@@ -95,16 +106,24 @@ func run(args []string, stdout io.Writer) error {
 			selected = append(selected, strings.TrimSpace(id))
 		}
 	}
-	exps, err := experiments.Select(selected)
-	if err != nil {
-		return err
-	}
 	if *ids == "" {
 		fmt.Fprintf(w, "# Regenerated results — Beyond Alice and Bob (PODC 2020)\n\n")
 	}
 
-	env, runErr := runner.Run(exps, runner.Options{Jobs: *jobs, SolverWorkers: *solverWorkers}, w)
-	if *jsonOut != "" {
+	env, runErr := lab.RunExperiments(ctx, selected, w)
+	if env.Cancelled > 0 {
+		// The deadline fired: the report above holds only the sections that
+		// completed, and the envelope flags the rest. Say so explicitly —
+		// a partial result must never pass for a full one.
+		runErr = errors.Join(runErr, fmt.Errorf(
+			"timed out after %v: envelope is partial (%d of %d experiment(s) cancelled)",
+			*timeout, env.Cancelled, len(env.Experiments)))
+	}
+	// A run that never started (unknown -id, closed Lab) returns a
+	// zero-value envelope; writing that out would hand downstream tooling
+	// a syntactically valid file with an empty schema tag where before
+	// there was no file at all. The schema tag marks a real run.
+	if *jsonOut != "" && env.Schema != "" {
 		// Joined with runErr: a broken -json path must not hide which
 		// experiments failed (or vice versa).
 		runErr = errors.Join(runErr, writeEnvelope(*jsonOut, env))
@@ -112,7 +131,7 @@ func run(args []string, stdout io.Writer) error {
 	return runErr
 }
 
-func writeEnvelope(path string, env runner.Envelope) error {
+func writeEnvelope(path string, env congestlb.ExperimentEnvelope) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -158,6 +158,56 @@ func TestExperimentsSolverWorkersFlag(t *testing.T) {
 	}
 }
 
+// TestExperimentsTimeoutPartialEnvelope pins the -timeout contract with an
+// already-expired deadline (deterministic: nothing gets to run): the
+// command exits non-zero with a partial-envelope note, the envelope is
+// still complete — one record per selected experiment — and every
+// unfinished experiment is flagged cancelled.
+func TestExperimentsTimeoutPartialEnvelope(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "env.json")
+	var buf bytes.Buffer
+	err := run([]string{"-id", "figure1,codes", "-timeout", "1ns", "-json", path}, &buf)
+	if err == nil {
+		t.Fatal("expired -timeout did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "envelope is partial") {
+		t.Fatalf("missing partial-envelope note: %v", err)
+	}
+	env := readEnvelope(t, path)
+	if len(env.Experiments) != 2 {
+		t.Fatalf("partial envelope lost records: %+v", env)
+	}
+	if env.Cancelled != 2 || env.Failed != 2 {
+		t.Fatalf("cancelled=%d failed=%d, want 2/2", env.Cancelled, env.Failed)
+	}
+	for _, r := range env.Experiments {
+		if !r.Cancelled {
+			t.Fatalf("%s not flagged cancelled: %+v", r.ID, r)
+		}
+		if r.Status != runner.StatusFailed {
+			t.Fatalf("%s status %q", r.ID, r.Status)
+		}
+	}
+	if !strings.Contains(buf.String(), "**FAILED**") {
+		t.Fatalf("report missing cancellation markers:\n%s", buf.String())
+	}
+}
+
+// TestExperimentsTimeoutGenerous pins the other side: a deadline far above
+// the run's cost changes nothing.
+func TestExperimentsTimeoutGenerous(t *testing.T) {
+	var plain, timed bytes.Buffer
+	if err := run([]string{"-id", "figure1", "-jobs", "1"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-id", "figure1", "-jobs", "1", "-timeout", "10m"}, &timed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain.Bytes(), timed.Bytes()) {
+		t.Fatal("generous -timeout changed the report")
+	}
+}
+
 func TestExperimentsUnknownID(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-id", "nope"}, &buf); err == nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +37,13 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	lab, err := congestlb.New()
+	if err != nil {
+		return err
+	}
+	defer lab.Close()
+	ctx := context.Background()
 
 	p := congestlb.Params{T: *t, Alpha: *alpha, Ell: *ell}
 	var fam congestlb.Family
@@ -66,7 +74,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		optI, err := congestlb.VerifyGap(fam, inter)
+		optI, err := lab.VerifyGap(ctx, fam, inter)
 		if err != nil {
 			return fmt.Errorf("trial %d intersecting: %w", trial, err)
 		}
@@ -78,7 +86,7 @@ func run(args []string, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		optD, err := congestlb.VerifyGap(fam, dis)
+		optD, err := lab.VerifyGap(ctx, fam, dis)
 		if err != nil {
 			return fmt.Errorf("trial %d disjoint: %w", trial, err)
 		}

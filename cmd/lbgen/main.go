@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -94,7 +95,12 @@ func run(args []string, w io.Writer) error {
 		congestlb.RoundLowerBound(fam.InputBits(), p.T, part.CutSize(g), g.N()))
 
 	if *solve {
-		sol, err := congestlb.ExactMaxIS(inst)
+		lab, err := congestlb.New()
+		if err != nil {
+			return err
+		}
+		defer lab.Close()
+		sol, err := lab.ExactMaxIS(context.Background(), inst)
 		if err != nil {
 			return err
 		}

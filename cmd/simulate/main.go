@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -61,8 +62,13 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
+	lab, err := congestlb.New()
+	if err != nil {
+		return err
+	}
+	defer lab.Close()
 	cfg := congestlb.CongestConfig{BandwidthBits: *bandwidth, Seed: *seed, Parallel: *parallel}
-	report, err := congestlb.RunReduction(fam, in, cfg)
+	report, err := lab.RunReduction(context.Background(), fam, in, cfg)
 	if err != nil {
 		return err
 	}

@@ -26,11 +26,24 @@
 //
 // # Quick start
 //
+// The service handle is Lab (see lab.go and docs/api.md): an isolated
+// instance of the library's caches, solver configuration and worker pool,
+// with context-first methods for everything long-running. Two Labs in one
+// process share nothing; cancelling a context stops simulations at round
+// boundaries and branch-and-bound solves on their batched step cadence,
+// returning the best incumbent with ctx.Err().
+//
+//	lab, _ := congestlb.New(congestlb.WithSolverWorkers(4))
+//	defer lab.Close()
 //	p := congestlb.Params{T: 2, Alpha: 1, Ell: 3}
 //	fam, _ := congestlb.NewLinear(p)
 //	in, _, _ := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
-//	report, _ := congestlb.RunReduction(fam, in, congestlb.CongestConfig{})
+//	report, _ := lab.RunReduction(ctx, fam, in, congestlb.CongestConfig{})
 //	fmt.Println(report.Opt, report.AccountingHolds())
+//
+// The historical package-level entry points (RunReduction, ExactMaxIS,
+// the Set*/Shared* configuration globals, …) remain as deprecated
+// wrappers over a default Lab backed by the process-wide shared caches.
 //
 // See examples/ for runnable programs and EXPERIMENTS.md for the
 // regenerated paper results.
@@ -58,6 +71,7 @@
 package congestlb
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -171,24 +185,44 @@ type (
 // used by exact solves that do not pin SolverOptions.Workers, returning
 // the previous setting (0 = GOMAXPROCS at solve time). Results are
 // deterministic at any worker count.
-func SetSolverWorkers(n int) int { return mis.SetDefaultWorkers(n) }
+//
+// Deprecated: process-wide configuration cannot isolate concurrent
+// workloads. Create a Lab with New(WithSolverWorkers(n)) — or call
+// (*Lab).SetSolverWorkers on your own Lab — instead.
+func SetSolverWorkers(n int) int { return DefaultLab().SetSolverWorkers(n) }
 
 // SolverWorkers reports the current process-wide worker default (0 =
 // GOMAXPROCS at solve time).
-func SolverWorkers() int { return mis.DefaultWorkers() }
+//
+// Deprecated: use (*Lab).SolverWorkers on your own Lab.
+func SolverWorkers() int { return DefaultLab().SolverWorkers() }
 
 // SetSolveCacheDir attaches a persistent on-disk tier to the shared solve
 // cache (pass "" to detach): solves of content-identical graphs in later
 // processes are served from disk instead of re-running branch-and-bound.
-func SetSolveCacheDir(dir string) error { return cache.Shared().SetDir(dir, 0) }
+//
+// Deprecated: re-pointing the process-wide cache directory mid-run races
+// with in-flight sessions on the shared cache. Create a Lab with
+// New(WithSolveCacheDir(dir)) — its tier is private and its lifetime is
+// the Lab's.
+func SetSolveCacheDir(dir string) error { return DefaultLab().SetSolveCacheDir(dir) }
 
 // SharedSolveCacheStats snapshots the shared solve cache's counters.
-func SharedSolveCacheStats() SolveCacheStats { return cache.Shared().Stats() }
+//
+// Deprecated: use (*Lab).SolveCacheStats on your own Lab.
+func SharedSolveCacheStats() SolveCacheStats { return DefaultLab().SolveCacheStats() }
 
 // NewSolveSession returns a view of the shared solve cache that counts
 // exactly the traffic routed through it and stamps the given solver worker
 // count (0 = default) onto its solves. Pass it to the *With program
 // constructors and protocol runners for per-caller attribution.
+//
+// Deprecated: use (*Lab).NewSolveSession on your own Lab, which stamps the
+// Lab's worker default and books against the Lab's private cache. (This
+// is the one deprecated function that is not a DefaultLab() wrapper: it
+// keeps constructing a raw shared-cache session because its explicit
+// workers parameter has no Lab equivalent — the Lab's own default is the
+// replacement for per-session worker counts.)
 func NewSolveSession(workers int) *SolveSession { return cache.NewSession(nil, workers) }
 
 // SharedBuildCacheStats snapshots the shared lower-bound-graph build
@@ -196,17 +230,25 @@ func NewSolveSession(workers int) *SolveSession { return cache.NewSession(nil, w
 // content-addressed (construction kind, parameters, codeword table,
 // ablation flags) and served as private deep copies, so repeated sweep
 // points and cross-experiment reuse skip the Θ(k²)-edge rebuild entirely.
-func SharedBuildCacheStats() BuildCacheStats { return lbgraph.SharedBuildCache().Stats() }
+//
+// Deprecated: use (*Lab).BuildCacheStats on your own Lab.
+func SharedBuildCacheStats() BuildCacheStats { return DefaultLab().BuildCacheStats() }
 
 // SetBuildCacheEnabled switches the shared build cache on or off and
 // returns the previous setting. Builds are deterministic, so the cache is
 // semantically transparent; disabling exists for A/B measurements.
-func SetBuildCacheEnabled(on bool) bool { return lbgraph.SetCacheEnabled(on) }
+//
+// Deprecated: use New(WithBuildCache(false)) or
+// (*Lab).SetBuildCacheEnabled on your own Lab; the process-wide switch
+// flips the cache under every caller at once.
+func SetBuildCacheEnabled(on bool) bool { return DefaultLab().SetBuildCacheEnabled(on) }
 
 // NewBuildSession returns a view of the shared build cache that counts
 // exactly the construction traffic routed through it. Pass it to the
 // families' BuildWith/BuildFixedWith methods for per-caller attribution.
-func NewBuildSession() *BuildSession { return lbgraph.NewCacheSession(nil) }
+//
+// Deprecated: use (*Lab).NewBuildSession on your own Lab.
+func NewBuildSession() *BuildSession { return DefaultLab().NewBuildSession() }
 
 // NewLinear constructs the Section 4 family for the given parameters.
 func NewLinear(p Params) (*LinearFamily, error) { return lbgraph.NewLinear(p) }
@@ -263,13 +305,20 @@ func RandomPromiseInstance(k, t int, density, disjointBias float64, rng *rand.Ra
 // ExactMaxIS solves an instance exactly using its natural clique cover.
 // Repeated solves of content-identical instances are served from the
 // shared content-addressed solve cache.
+//
+// Deprecated: use (*Lab).ExactMaxIS, which takes a context (cancellation
+// returns the best incumbent with ctx.Err()) and a private cache.
 func ExactMaxIS(inst Instance) (Solution, error) {
-	return cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover})
+	return DefaultLab().ExactMaxIS(context.Background(), inst)
 }
 
 // ExactMaxISGraph solves an arbitrary graph exactly (greedy clique cover),
 // through the shared content-addressed solve cache.
-func ExactMaxISGraph(g *Graph) (Solution, error) { return cache.Exact(g, mis.Options{}) }
+//
+// Deprecated: use (*Lab).ExactMaxISGraph.
+func ExactMaxISGraph(g *Graph) (Solution, error) {
+	return DefaultLab().ExactMaxISGraph(context.Background(), g)
+}
 
 // VerifyIndependent checks a set is independent and returns its weight.
 func VerifyIndependent(g *Graph, set []NodeID) (int64, error) { return mis.Verify(g, set) }
@@ -279,28 +328,30 @@ func VerifyIndependent(g *Graph, set []NodeID) (int64, error) { return mis.Verif
 // algorithm, charges every cut-crossing message to a blackboard, decides
 // promise pairwise disjointness via the gap predicate and reports the full
 // accounting.
+//
+// Deprecated: use (*Lab).RunReduction, which takes a context (cancelling
+// it stops the round loop between rounds) and runs through the Lab's
+// private caches.
 func RunReduction(fam Family, in Inputs, cfg CongestConfig) (SimulationReport, error) {
-	return core.Simulate(fam, in, core.GossipPrograms, core.GossipOpt, cfg)
+	return DefaultLab().RunReduction(context.Background(), fam, in, cfg)
 }
 
 // Simulate is RunReduction with a caller-chosen CONGEST algorithm and
 // output interpretation.
+//
+// Deprecated: use (*Lab).Simulate.
 func Simulate(fam Family, in Inputs, factory core.ProgramFactory, extract core.OptExtractor, cfg CongestConfig) (SimulationReport, error) {
-	return core.Simulate(fam, in, factory, extract, cfg)
+	return DefaultLab().Simulate(context.Background(), fam, in, factory, extract, cfg)
 }
 
 // VerifyGap builds the instance for in, solves it exactly, and checks the
 // correct side of the family's gap predicate, returning the optimum. Only
 // the optimum value is consumed, so the solve is flagged WeightOnly — the
 // parallel engine skips its canonicalisation tail.
+//
+// Deprecated: use (*Lab).VerifyGap.
 func VerifyGap(fam Family, in Inputs) (int64, error) {
-	return core.AuditGap(fam, in, func(inst Instance) (int64, error) {
-		sol, err := cache.Exact(inst.Graph, mis.Options{CliqueCover: inst.CliqueCover, WeightOnly: true})
-		if err != nil {
-			return 0, err
-		}
-		return sol.Weight, nil
-	})
+	return DefaultLab().VerifyGap(context.Background(), fam, in)
 }
 
 // AuditLocality mechanically checks Definition 4's locality condition on
@@ -310,7 +361,11 @@ func AuditLocality(fam Family, a, b Inputs, i int) error { return core.AuditLoca
 // SplitBest runs the Section 1 limitation protocol: every player solves
 // its own part locally and announces one value, achieving a
 // 1/t-approximation for t·O(log n) bits.
-func SplitBest(inst Instance) (SplitBestReport, error) { return core.SplitBest(inst) }
+//
+// Deprecated: use (*Lab).SplitBest.
+func SplitBest(inst Instance) (SplitBestReport, error) {
+	return DefaultLab().SplitBest(context.Background(), inst)
+}
 
 // NewCongestNetwork binds node programs to a graph under a config.
 func NewCongestNetwork(g *Graph, programs []NodeProgram, cfg CongestConfig) (*Network, error) {

@@ -1,11 +1,23 @@
 package congestlb_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"congestlb"
 )
+
+// newTestLab returns a fresh isolated Lab, closed with the test.
+func newTestLab(t *testing.T, opts ...congestlb.Option) *congestlb.Lab {
+	t.Helper()
+	lab, err := congestlb.New(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lab.Close() })
+	return lab
+}
 
 // These tests exercise the public facade end to end, doubling as the
 // library's integration suite.
@@ -29,7 +41,7 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	if inst.Graph.N() != p.LinearN() {
 		t.Fatalf("instance has %d nodes, want %d", inst.Graph.N(), p.LinearN())
 	}
-	sol, err := congestlb.ExactMaxIS(inst)
+	sol, err := newTestLab(t).ExactMaxIS(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +64,7 @@ func TestPublicReductionFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := congestlb.RunReduction(fam, in, congestlb.CongestConfig{})
+	report, err := newTestLab(t).RunReduction(context.Background(), fam, in, congestlb.CongestConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +88,7 @@ func TestPublicGapVerification(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := congestlb.VerifyGap(fam, in)
+	opt, err := newTestLab(t).VerifyGap(context.Background(), fam, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +227,7 @@ func TestPublicCollectSolveAndTracer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := congestlb.ExactMaxIS(inst)
+	opt, err := newTestLab(t).ExactMaxIS(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +254,7 @@ func TestPublicSplitBest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := congestlb.SplitBest(inst)
+	report, err := newTestLab(t).SplitBest(context.Background(), inst)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,95 @@
+package congestlb_test
+
+// Back-compat coverage for the deprecated package-level wrappers: until
+// they are removed they must keep behaving exactly like the default Lab
+// they now delegate to. This file is the one sanctioned caller of the
+// deprecated API (see deprecationExempt in deprecation_test.go).
+
+import (
+	"math/rand"
+	"testing"
+
+	"congestlb"
+)
+
+// TestDeprecatedWrappersDelegateToDefaultLab pins the wrappers to the
+// default Lab: configuration set through the old globals is visible
+// through the Lab handle and vice versa, and the old entry points still
+// produce sound results.
+func TestDeprecatedWrappersDelegateToDefaultLab(t *testing.T) {
+	prev := congestlb.SetSolverWorkers(3)
+	defer congestlb.SetSolverWorkers(prev)
+	if got := congestlb.DefaultLab().SolverWorkers(); got != 3 {
+		t.Fatalf("default Lab did not observe deprecated SetSolverWorkers: %d", got)
+	}
+	if got := congestlb.SolverWorkers(); got != 3 {
+		t.Fatalf("deprecated accessor: %d", got)
+	}
+	if prevLab := congestlb.DefaultLab().SetSolverWorkers(1); prevLab != 3 {
+		t.Fatalf("Lab setter returned %d, want 3", prevLab)
+	}
+	if got := congestlb.SolverWorkers(); got != 1 {
+		t.Fatalf("deprecated accessor did not observe Lab setter: %d", got)
+	}
+
+	prevBuild := congestlb.SetBuildCacheEnabled(true)
+	defer congestlb.SetBuildCacheEnabled(prevBuild)
+
+	p := congestlb.Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := congestlb.BuildInstance(fam, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := congestlb.SharedSolveCacheStats()
+	sol, err := congestlb.ExactMaxIS(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Weight < fam.Gap().Beta {
+		t.Fatalf("deprecated ExactMaxIS unsound: OPT %d < Beta %d", sol.Weight, fam.Gap().Beta)
+	}
+	after := congestlb.SharedSolveCacheStats()
+	if after.Hits+after.Misses == before.Hits+before.Misses {
+		t.Fatal("deprecated ExactMaxIS bypassed the shared cache")
+	}
+	if labStats := congestlb.DefaultLab().SolveCacheStats(); labStats != after {
+		t.Fatalf("default Lab stats %+v diverge from deprecated accessor %+v", labStats, after)
+	}
+
+	if opt, err := congestlb.VerifyGap(fam, in); err != nil || opt != sol.Weight {
+		t.Fatalf("deprecated VerifyGap: opt=%d err=%v, want %d", opt, err, sol.Weight)
+	}
+	report, err := congestlb.RunReduction(fam, in, congestlb.CongestConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Correct() || !report.AccountingHolds() {
+		t.Fatalf("deprecated RunReduction unsound: %+v", report)
+	}
+	split, err := congestlb.SplitBest(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.Opt != sol.Weight {
+		t.Fatalf("deprecated SplitBest OPT %d, want %d", split.Opt, sol.Weight)
+	}
+	if sess := congestlb.NewSolveSession(2); sess == nil {
+		t.Fatal("deprecated NewSolveSession returned nil")
+	}
+	if sess := congestlb.NewBuildSession(); sess == nil {
+		t.Fatal("deprecated NewBuildSession returned nil")
+	}
+	if st := congestlb.SharedBuildCacheStats(); st != congestlb.DefaultLab().BuildCacheStats() {
+		t.Fatal("deprecated build-cache stats diverge from the default Lab's")
+	}
+}

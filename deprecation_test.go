@@ -1,0 +1,134 @@
+package congestlb_test
+
+// The deprecation-usage gate (run in CI next to go vet): no code in this
+// repository outside the back-compat wrappers themselves — not the cmd/
+// binaries, not the examples, not these integration tests — may call the
+// deprecated package-level congestlb functions. The deprecated set is not
+// hardcoded: it is recovered from the facade sources by their
+// "Deprecated:" doc comments, so marking a new function deprecated
+// automatically extends the gate. (internal/ packages cannot import the
+// facade at all — that would be an import cycle — so scanning cmd/,
+// examples/ and the root test files covers every possible caller.)
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// deprecationExempt lists files allowed to call deprecated functions:
+// the dedicated back-compat test keeps the wrappers' behaviour covered
+// until they are removed.
+var deprecationExempt = map[string]bool{
+	"deprecated_compat_test.go": true,
+}
+
+// deprecatedFacadeFuncs parses the root package sources and returns every
+// exported function marked "Deprecated:".
+func deprecatedFacadeFuncs(t *testing.T) map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	deprecated := map[string]bool{}
+	matches, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range matches {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || !fd.Name.IsExported() || fd.Doc == nil {
+				continue
+			}
+			if strings.Contains(fd.Doc.Text(), "Deprecated:") {
+				deprecated[fd.Name.Name] = true
+			}
+		}
+	}
+	if len(deprecated) == 0 {
+		t.Fatal("no deprecated facade functions found — the scanner is broken")
+	}
+	return deprecated
+}
+
+// TestNoDeprecatedGlobalUsage walks cmd/, examples/ and the root test
+// files and fails on any qualified call of a deprecated facade function.
+func TestNoDeprecatedGlobalUsage(t *testing.T) {
+	deprecated := deprecatedFacadeFuncs(t)
+	var files []string
+	for _, dir := range []string{"cmd", "examples"} {
+		if err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rootTests, err := filepath.Glob("*_test.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, rootTests...)
+
+	fset := token.NewFileSet()
+	var violations []string
+	for _, path := range files {
+		if deprecationExempt[filepath.Base(path)] {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		// Resolve the local name the congestlb import is bound to (it can
+		// be aliased); files that do not import the facade cannot violate.
+		pkgName := ""
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if ipath != "congestlb" {
+				continue
+			}
+			pkgName = "congestlb"
+			if imp.Name != nil {
+				pkgName = imp.Name.Name
+			}
+		}
+		if pkgName == "" {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || ident.Name != pkgName || !deprecated[sel.Sel.Name] {
+				return true
+			}
+			violations = append(violations, fmt.Sprintf("%s: %s.%s",
+				fset.Position(sel.Pos()), pkgName, sel.Sel.Name))
+			return true
+		})
+	}
+	if len(violations) > 0 {
+		t.Fatalf("deprecated congestlb globals still in use — migrate to the Lab API:\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -94,7 +95,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, err := congestlb.ExactMaxIS(inst)
+	lab, err := congestlb.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+	opt, err := lab.ExactMaxIS(context.Background(), inst)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,5 +1,10 @@
-// Quickstart: build a lower-bound instance, solve it exactly, and see the
-// gap predicate separate the two promise cases.
+// Quickstart: create a Lab, build a lower-bound instance, solve it
+// exactly, and see the gap predicate separate the two promise cases.
+//
+// The Lab is the library's service handle: it owns a private solve cache,
+// build cache and solver configuration (congestlb.New takes functional
+// options for all of them), and every long-running method takes a
+// context.Context for cancellation. Two Labs in one process share nothing.
 //
 // Run with:
 //
@@ -7,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -15,6 +21,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	lab, err := congestlb.New() // e.g. congestlb.WithSolverWorkers(4), congestlb.WithSolveCacheDir(".solvecache")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
+
 	// t=2 players, α=1, ℓ=3: the smallest linear construction whose gap
 	// predicate genuinely separates (ℓ > αt). k=4, n=48.
 	p := congestlb.Params{T: 2, Alpha: 1, Ell: 3}
@@ -35,11 +48,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	instI, err := congestlb.BuildInstance(fam, inter)
+	instI, err := lab.BuildInstance(fam, inter)
 	if err != nil {
 		log.Fatal(err)
 	}
-	solI, err := congestlb.ExactMaxIS(instI)
+	solI, err := lab.ExactMaxIS(ctx, instI)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,11 +73,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	instD, err := congestlb.BuildInstance(fam, dis)
+	instD, err := lab.BuildInstance(fam, dis)
 	if err != nil {
 		log.Fatal(err)
 	}
-	solD, err := congestlb.ExactMaxIS(instD)
+	solD, err := lab.ExactMaxIS(ctx, instD)
 	if err != nil {
 		log.Fatal(err)
 	}

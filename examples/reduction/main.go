@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,6 +25,11 @@ func main() {
 		log.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(7))
+	lab, err := congestlb.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
 
 	for _, tc := range []struct {
 		name      string
@@ -43,7 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 
-		report, err := congestlb.RunReduction(fam, in, congestlb.CongestConfig{Seed: 1})
+		report, err := lab.RunReduction(context.Background(), fam, in, congestlb.CongestConfig{Seed: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

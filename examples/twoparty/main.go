@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,6 +20,11 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(11))
+	lab, err := congestlb.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
 	fmt.Println("The split-best protocol on uniquely-intersecting hard instances:")
 	fmt.Println()
 
@@ -39,7 +45,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		report, err := congestlb.SplitBest(inst)
+		report, err := lab.SplitBest(context.Background(), inst)
 		if err != nil {
 			log.Fatal(err)
 		}

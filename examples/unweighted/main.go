@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,6 +25,11 @@ func main() {
 		log.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(5))
+	lab, err := congestlb.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lab.Close()
 
 	for _, tc := range []struct {
 		name      string
@@ -50,11 +56,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		weighted, err := congestlb.ExactMaxIS(inst)
+		weighted, err := lab.ExactMaxIS(context.Background(), inst)
 		if err != nil {
 			log.Fatal(err)
 		}
-		unweighted, err := congestlb.ExactMaxISGraph(res.Graph)
+		unweighted, err := lab.ExactMaxISGraph(context.Background(), res.Graph)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -23,6 +23,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -243,6 +244,20 @@ func (n *Network) Graph() *graphs.Graph { return n.g }
 
 // Run executes the simulation to termination and returns outputs and stats.
 func (n *Network) Run() (Result, error) {
+	return n.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context: the synchronous round loop checks the
+// context once per round and aborts with ctx.Err() when it fires, so a
+// caller can cancel (or deadline) a long simulation between rounds. Node
+// programs are never interrupted mid-round — a run observes cancellation
+// only at round boundaries, which keeps partial state impossible. A nil
+// ctx means Background.
+func (n *Network) RunCtx(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctxDone := ctx.Done()
 	size := n.g.N()
 	maxRounds := n.cfg.MaxRounds
 	if maxRounds == 0 {
@@ -301,6 +316,13 @@ func (n *Network) Run() (Result, error) {
 	}
 
 	for round := 1; ; round++ {
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				return Result{}, fmt.Errorf("congest: run cancelled in round %d: %w", round, ctx.Err())
+			default:
+			}
+		}
 		if round > maxRounds {
 			return Result{}, fmt.Errorf("%w: %d", ErrMaxRounds, maxRounds)
 		}

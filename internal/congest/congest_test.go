@@ -1,6 +1,7 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -283,6 +284,32 @@ func TestMaxRoundsAborts(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := net.Run(); !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("error = %v, want ErrMaxRounds", err)
+	}
+}
+
+// TestRunCtxCancelStopsRoundLoop: a cancelled context aborts a
+// non-terminating run at a round boundary with the context's error —
+// before the MaxRounds failsafe would fire.
+func TestRunCtxCancelStopsRoundLoop(t *testing.T) {
+	g := ring(t, 3)
+	programs := []NodeProgram{&chatterbox{}, &chatterbox{}, &chatterbox{}}
+	net, err := NewNetwork(g, programs, Config{MaxRounds: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := net.RunCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	// And a background context leaves behaviour untouched: same run, same
+	// MaxRounds abort as Run.
+	net2, err := NewNetwork(g, []NodeProgram{&chatterbox{}, &chatterbox{}, &chatterbox{}}, Config{MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net2.RunCtx(context.Background()); !errors.Is(err, ErrMaxRounds) {
 		t.Fatalf("error = %v, want ErrMaxRounds", err)
 	}
 }

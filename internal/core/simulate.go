@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -41,7 +42,10 @@ type SimulationReport struct {
 	// one miss and n-1 hits. The deltas are exact for a sequential caller;
 	// when several simulations run concurrently (the sharded experiment
 	// runner) they are attributed approximately, since the counters are
-	// process-global.
+	// process-global. Callers that route solves through a private cache
+	// (congestlb.Lab.RunReduction) overwrite both fields from their
+	// session's exact per-call counters, since the shared deltas would
+	// describe someone else's traffic entirely.
 	SolveCacheHits, SolveCacheMisses uint64
 	// Opt is the MaxIS value extracted from the algorithm's outputs.
 	Opt int64
@@ -93,11 +97,20 @@ type OptExtractor func(result congest.Result, inst Instance) (int64, error)
 // actual transcript length and the Rounds·|cut|·B bound — so callers (and
 // tests) can confirm the inequality the paper's lower bounds rest on.
 func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptExtractor, cfg congest.Config) (SimulationReport, error) {
+	return SimulateCtx(context.Background(), fam, in, factory, extract, cfg)
+}
+
+// SimulateCtx is Simulate under a context: the CONGEST round loop observes
+// cancellation at round boundaries, and solve sessions bound to the same
+// context (cache.Session.WithContext) stop any in-flight branch-and-bound
+// the node programs run. A cancelled simulation returns ctx.Err() wrapped
+// with where the run stopped.
+func SimulateCtx(ctx context.Context, fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptExtractor, cfg congest.Config) (SimulationReport, error) {
 	inst, err := fam.Build(in)
 	if err != nil {
 		return SimulationReport{}, fmt.Errorf("core: build: %w", err)
 	}
-	return SimulateBuilt(fam, in, inst, factory, extract, cfg)
+	return SimulateBuiltCtx(ctx, fam, in, inst, factory, extract, cfg)
 }
 
 // SimulateBuilt is Simulate over a caller-built instance of fam for in.
@@ -106,6 +119,11 @@ func Simulate(fam Family, in bitvec.Inputs, factory ProgramFactory, extract OptE
 // traffic books under their session; Simulate itself is the convenience
 // wrapper that builds through the family.
 func SimulateBuilt(fam Family, in bitvec.Inputs, inst Instance, factory ProgramFactory, extract OptExtractor, cfg congest.Config) (SimulationReport, error) {
+	return SimulateBuiltCtx(context.Background(), fam, in, inst, factory, extract, cfg)
+}
+
+// SimulateBuiltCtx is SimulateBuilt under a context (see SimulateCtx).
+func SimulateBuiltCtx(ctx context.Context, fam Family, in bitvec.Inputs, inst Instance, factory ProgramFactory, extract OptExtractor, cfg congest.Config) (SimulationReport, error) {
 	truth, err := in.PromisePairwiseDisjointness()
 	if err != nil {
 		return SimulationReport{}, fmt.Errorf("core: inputs: %w", err)
@@ -145,7 +163,7 @@ func SimulateBuilt(fam Family, in bitvec.Inputs, inst Instance, factory ProgramF
 		return SimulationReport{}, fmt.Errorf("core: network: %w", err)
 	}
 	cacheBefore := cache.Shared().Stats()
-	result, err := net.Run()
+	result, err := net.RunCtx(ctx)
 	if err != nil {
 		return SimulationReport{}, fmt.Errorf("core: run: %w", err)
 	}

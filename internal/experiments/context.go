@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -85,12 +86,13 @@ func (j *instanceJob) claim() bool {
 // every sweep until fewer experiments than workers remained). See the
 // file comment for the nesting/deadlock-avoidance rule.
 type Scheduler struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	inst   []*instanceJob // per-instance jobs: drained first
-	exp    []*instanceJob // experiment-level jobs
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inst    []*instanceJob // per-instance jobs: drained first
+	exp     []*instanceJob // experiment-level jobs
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
 }
 
 // NewScheduler starts a pool of the given size (values < 1 mean 1).
@@ -99,7 +101,7 @@ func NewScheduler(workers int) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
-	s := &Scheduler{}
+	s := &Scheduler{workers: workers}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < workers; i++ {
 		s.wg.Add(1)
@@ -107,6 +109,9 @@ func NewScheduler(workers int) *Scheduler {
 	}
 	return s
 }
+
+// Workers reports the pool size the scheduler was started with.
+func (s *Scheduler) Workers() int { return s.workers }
 
 // worker drains the queue until the scheduler closes. Jobs claimed inline
 // by their gatherer are skipped — the atomic claim makes the race benign.
@@ -147,9 +152,16 @@ func (s *Scheduler) next() *instanceJob {
 	}
 }
 
-// submit enqueues an instance job and wakes a worker.
+// submit enqueues an instance job and wakes a worker. Like Submit, it
+// panics on a closed pool: the job could only ever run through its
+// gatherer's inline claim, and an entry point that half-works after Close
+// hides lifecycle bugs.
 func (s *Scheduler) submit(j *instanceJob) {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		panic("experiments: Ctx.Go on closed Scheduler")
+	}
 	s.inst = append(s.inst, j)
 	s.mu.Unlock()
 	s.cond.Signal()
@@ -164,6 +176,13 @@ func (s *Scheduler) submit(j *instanceJob) {
 func (s *Scheduler) Submit(fn func()) (wait func()) {
 	j := &instanceJob{fn: func() error { fn(); return nil }, done: make(chan struct{})}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		// Enforce the documented contract loudly: a closed pool's workers
+		// have exited, so the job could never run and the returned wait
+		// would block forever — a silent deadlock is strictly worse.
+		panic("experiments: Submit on closed Scheduler")
+	}
 	s.exp = append(s.exp, j)
 	s.mu.Unlock()
 	s.cond.Signal()
@@ -202,6 +221,11 @@ type Ctx struct {
 	sched   *Scheduler
 	pending []*instanceJob
 	jobs    int64
+	// ctx is the run's cancellation signal (WithContext; nil = Background).
+	// Go-submitted jobs check it before running, so on cancellation the
+	// queued backlog drains as cancelled instead of executing; experiments
+	// thread it into their simulations via Context().
+	ctx context.Context
 }
 
 // NewCtx builds an experiment context. A nil writer discards the report;
@@ -224,22 +248,64 @@ func (w *Ctx) WithScheduler(s *Scheduler) *Ctx {
 	return w
 }
 
+// WithContext binds the run's context.Context: queued Go jobs drain as
+// cancelled once it fires, and experiments pass Context() into their
+// simulations and solves. Set it before the experiment starts (not
+// synchronised). A nil ctx keeps Background.
+func (w *Ctx) WithContext(ctx context.Context) *Ctx {
+	w.ctx = ctx
+	return w
+}
+
+// WithBuilds replaces the build-cache session (nil keeps the current one),
+// so the runner can attribute lower-bound graph constructions to a
+// caller-chosen cache — the per-Lab isolation seam.
+func (w *Ctx) WithBuilds(b *lbgraph.CacheSession) *Ctx {
+	if b != nil {
+		w.Builds = b
+	}
+	return w
+}
+
+// Context returns the run's cancellation context (Background when none was
+// bound). Experiments pass it to core.SimulateBuiltCtx and friends so a
+// cancelled run stops between CONGEST rounds, not only between jobs.
+func (w *Ctx) Context() context.Context {
+	if w.ctx == nil {
+		return context.Background()
+	}
+	return w.ctx
+}
+
 // Go submits one per-instance job. With a scheduler the job runs on the
 // shared pool; without one it runs inline immediately, making the
 // sequential and sharded paths the same code. fn must not write to the
 // Ctx or mutate experiment state shared with other jobs — it computes
 // into its own result slot, which the experiment reads after Gather.
 // Go/Gather are experiment-goroutine-only: jobs must not call them.
+//
+// With a bound context (WithContext), every job re-checks it at claim
+// time: jobs still queued when the context fires run nothing and report
+// ctx.Err() — the queued backlog drains as cancelled, whoever claims it.
 func (w *Ctx) Go(fn func() error) {
 	w.jobs++
+	run := fn
+	if ctx := w.ctx; ctx != nil {
+		run = func() error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			return fn()
+		}
+	}
 	if w.sched == nil {
-		j := &instanceJob{fn: fn}
-		j.err = fn()
+		j := &instanceJob{fn: run}
+		j.err = run()
 		j.state.Store(jobDone)
 		w.pending = append(w.pending, j)
 		return
 	}
-	j := &instanceJob{fn: fn, done: make(chan struct{})}
+	j := &instanceJob{fn: run, done: make(chan struct{})}
 	w.pending = append(w.pending, j)
 	w.sched.submit(j)
 }

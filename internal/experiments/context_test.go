@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -78,6 +79,104 @@ func TestSchedulerNestedJobsNoDeadlock(t *testing.T) {
 	}
 	if got := ran.Load(); got != outer*inner {
 		t.Fatalf("ran %d nested jobs, want %d", got, outer*inner)
+	}
+}
+
+// TestCtxCancelDrainsQueuedJobs pins the cancellation half of the
+// scheduler contract: jobs still queued when the context fires never run
+// their bodies — whoever claims them (a pool worker or the gatherer)
+// observes the dead context and reports ctx.Err() — and Gather returns
+// without deadlock at every pool size, including the single-worker pool
+// where the gatherer must claim everything inline.
+func TestCtxCancelDrainsQueuedJobs(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			s := NewScheduler(workers)
+			defer s.Close()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			// Pin every pool worker on a gate so the cancel provably lands
+			// while the real jobs are still queued behind them.
+			gate := make(chan struct{})
+			started := make(chan struct{}, workers)
+			w := NewCtx(nil, nil).WithScheduler(s).WithContext(ctx)
+			for i := 0; i < workers; i++ {
+				w.Go(func() error {
+					started <- struct{}{}
+					<-gate
+					return nil
+				})
+			}
+			for i := 0; i < workers; i++ {
+				<-started
+			}
+			var ran atomic.Int64
+			const queued = 16
+			for i := 0; i < queued; i++ {
+				w.Go(func() error {
+					ran.Add(1)
+					return nil
+				})
+			}
+			cancel()
+			close(gate)
+			err := w.Gather()
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Gather = %v, want context.Canceled from a drained job", err)
+			}
+			if got := ran.Load(); got != 0 {
+				t.Fatalf("%d queued job bodies ran after cancellation", got)
+			}
+		})
+	}
+}
+
+// TestSchedulerNestedJobsCancelNoDeadlock extends the nested-gather
+// deadlock test with cancellation: outer experiment jobs gather nested
+// instance jobs on a single-worker pool while the context dies under
+// them. Everything must drain — cancelled or completed — with no worker
+// stranded.
+func TestSchedulerNestedJobsCancelNoDeadlock(t *testing.T) {
+	s := NewScheduler(1)
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const outer, inner = 6, 10
+	var cancelled, completed atomic.Int64
+	waits := make([]func(), outer)
+	for o := 0; o < outer; o++ {
+		o := o
+		waits[o] = s.Submit(func() {
+			if o == 2 {
+				// Cancel from inside the pool, mid-backlog: the remaining
+				// outer jobs' nested work must drain as cancelled.
+				cancel()
+			}
+			w := NewCtx(nil, nil).WithScheduler(s).WithContext(ctx)
+			for i := 0; i < inner; i++ {
+				w.Go(func() error {
+					completed.Add(1)
+					return nil
+				})
+			}
+			if err := w.Gather(); err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("gather error %v, want context.Canceled", err)
+				}
+				cancelled.Add(1)
+			}
+		})
+	}
+	for _, wait := range waits {
+		wait()
+	}
+	if cancelled.Load() == 0 {
+		t.Fatal("cancellation never observed by any nested gather")
+	}
+	if completed.Load()+cancelled.Load()*inner < outer*inner-inner {
+		t.Fatalf("work lost: %d completed, %d gathers cancelled", completed.Load(), cancelled.Load())
 	}
 }
 

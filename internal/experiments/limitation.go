@@ -185,7 +185,7 @@ func runRemark1(w *Ctx) error {
 		if err != nil {
 			return err
 		}
-		report, err = core.SimulateBuilt(ufam, uin, uinst, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 13})
+		report, err = core.SimulateBuiltCtx(w.Context(), ufam, uin, uinst, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 13})
 		return err
 	})
 	if err := w.Gather(); err != nil {
@@ -262,7 +262,7 @@ func runUpperBounds(w *Ctx) error {
 			if err != nil {
 				return err
 			}
-			result, err := net.Run()
+			result, err := net.RunCtx(w.Context())
 			if err != nil {
 				return err
 			}

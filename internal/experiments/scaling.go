@@ -54,7 +54,7 @@ func runScaling(w *Ctx) error {
 			}
 			// CollectSolve keeps the sweep fast: its traffic rides the
 			// BFS tree instead of flooding every edge.
-			report, err := core.SimulateBuilt(l, in, inst, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 11})
+			report, err := core.SimulateBuiltCtx(w.Context(), l, in, inst, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 11})
 			if err != nil {
 				return err
 			}

@@ -308,7 +308,7 @@ func runTheorem5(w *Ctx) error {
 				if err != nil {
 					return err
 				}
-				report, err := core.SimulateBuilt(l, in, inst, a.factory, a.extract, congest.Config{Seed: 5})
+				report, err := core.SimulateBuiltCtx(w.Context(), l, in, inst, a.factory, a.extract, congest.Config{Seed: 5})
 				if err != nil {
 					return err
 				}

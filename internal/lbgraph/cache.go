@@ -216,6 +216,11 @@ func cloneInstance(inst core.Instance) core.Instance {
 // branching. Mirrors cache.Session in internal/mis/cache.
 type CacheSession struct {
 	c *BuildCache // nil = the shared cache, resolved at call time
+	// bypass skips every cache entirely: builds run from scratch and book
+	// as misses. It is how a Lab configured with the build cache off
+	// expresses that choice per-handle instead of flipping the process-wide
+	// SetCacheEnabled switch under everyone else.
+	bypass bool
 
 	mu    sync.Mutex
 	stats CacheStats
@@ -224,6 +229,14 @@ type CacheSession struct {
 // NewCacheSession returns a session over c (nil = the shared build cache).
 func NewCacheSession(c *BuildCache) *CacheSession {
 	return &CacheSession{c: c}
+}
+
+// NewUncachedCacheSession returns a session that never consults any build
+// cache: every construction runs from scratch (recorded as a miss), with
+// attribution still exact. Builds are deterministic so results are
+// identical either way; the mode exists for per-handle A/B measurements.
+func NewUncachedCacheSession() *CacheSession {
+	return &CacheSession{bypass: true}
 }
 
 // Stats returns a snapshot of the session's counters. Entries is always 0:
@@ -254,6 +267,11 @@ func (s *CacheSession) record(f func(*CacheStats)) {
 func (s *CacheSession) instance(key CacheKey, build func() (core.Instance, error)) (core.Instance, error) {
 	c := (*BuildCache)(nil)
 	if s != nil {
+		if s.bypass {
+			inst, err := build()
+			s.record(func(st *CacheStats) { st.Misses++ })
+			return inst, err
+		}
 		c = s.c
 	}
 	if c == nil {

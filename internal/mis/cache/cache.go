@@ -27,8 +27,10 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
+	"errors"
 	"sync"
 	"sync/atomic"
 
@@ -119,36 +121,100 @@ func New(capacity int) *Cache {
 // clique cover cannot be canonicalised (malformed covers mis.Exact will
 // reject anyway) bypass the cache entirely.
 func (c *Cache) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
-	return c.exact(g, opts, nil)
+	return c.exact(context.Background(), g, opts, nil)
+}
+
+// ExactCtx is Exact under a context: the underlying branch-and-bound
+// observes cancellation on its batched step cadence, and a caller waiting
+// on another goroutine's in-flight solve of the same key stops waiting when
+// its own context fires. Cancelled solves return ctx.Err() and are never
+// cached (errors are not cached), so a later caller retries cleanly.
+func (c *Cache) ExactCtx(ctx context.Context, g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
+	return c.exact(ctx, g, opts, nil)
 }
 
 // exact is the session-aware lookup behind Exact and Session.Exact: every
 // counter event lands in the cache's stats and, when sess is non-nil, in
 // the session's — giving callers exact attribution of the traffic they
 // generated even while other goroutines share the cache.
-func (c *Cache) exact(g *graphs.Graph, opts mis.Options, sess *Session) (mis.Solution, error) {
+func (c *Cache) exact(ctx context.Context, g *graphs.Graph, opts mis.Options, sess *Session) (mis.Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key, ok := KeyOf(g, opts)
 	if !ok {
-		return mis.Exact(g, opts)
+		return mis.ExactCtx(ctx, g, opts)
 	}
+	// Loop rather than recurse on the owner-cancelled retry below: a
+	// long-lived waiter repeatedly losing the re-ownership race to a
+	// stream of short-deadline owners must not grow a stack frame per
+	// attempt.
+	for {
+		sol, err, retry := c.exactAttempt(ctx, key, g, opts, sess)
+		if !retry {
+			return sol, err
+		}
+	}
+}
 
+// exactAttempt is one pass of the lookup protocol; retry reports that the
+// joined entry died of its owner's cancellation and the (still-live)
+// caller should attempt the lookup again.
+func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts mis.Options, sess *Session) (_ mis.Solution, _ error, retry bool) {
 	c.mu.Lock()
 	disk := c.disk
 	if el, found := c.index[key]; found {
 		e := el.Value.(*entry)
 		c.lru.MoveToFront(el)
-		c.stats.Hits++
+		done := e.done
 		c.mu.Unlock()
-		sess.record(func(st *Stats) { st.Hits++ })
-		<-e.ready
+		// A completed entry is served unconditionally — even under a dead
+		// context: the result is already in hand, and racing a closed
+		// ready channel against a closed ctx.Done() in a select would
+		// make the outcome a coin flip. Only genuinely in-flight solves
+		// wait, honouring the waiter's own deadline: its context firing
+		// must not leave it blocked on a solve another caller owns (which
+		// may be running under a context that never cancels).
+		if !done {
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				// No cached result to hand over, so meet the incumbent
+				// contract the direct solve path provides: the greedy
+				// seed — a valid witness — alongside ctx.Err(). The
+				// abandoned lookup books no counter events; the solve's
+				// owner keeps its own accounting.
+				return mis.SeedIncumbent(g), ctx.Err(), false
+			}
+		}
 		if e.err != nil {
-			return clone(e.sol), e.err
+			// The owner's context dying is the owner's problem, not this
+			// waiter's: its entry was already dropped, so a waiter whose
+			// own context is still alive retries fresh (becoming the new
+			// owner or joining one) instead of reporting a cancellation
+			// that never happened to it. The retry books its own lookup;
+			// this one books nothing, keeping attribution at one event
+			// per call. Non-context errors propagate as always — they
+			// describe the solve, not the caller.
+			if ctx.Err() == nil &&
+				(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+				return mis.Solution{}, nil, true
+			}
+			c.mu.Lock()
+			c.stats.Hits++
+			c.mu.Unlock()
+			sess.record(func(st *Stats) { st.Hits++ })
+			return clone(e.sol), e.err, false
 		}
 		c.mu.Lock()
+		c.stats.Hits++
 		c.stats.StepsSaved += e.sol.Steps
 		c.mu.Unlock()
-		sess.record(func(st *Stats) { st.StepsSaved += e.sol.Steps })
-		return clone(e.sol), nil
+		sess.record(func(st *Stats) {
+			st.Hits++
+			st.StepsSaved += e.sol.Steps
+		})
+		return clone(e.sol), nil, false
 	}
 	// A weight-only miss may be served by a completed canonical solve of
 	// the same graph: a canonical Solution is a strict superset of what a
@@ -171,7 +237,7 @@ func (c *Cache) exact(g *graphs.Graph, opts mis.Options, sess *Session) (mis.Sol
 						st.Hits++
 						st.StepsSaved += ce.sol.Steps
 					})
-					return clone(ce.sol), nil
+					return clone(ce.sol), nil, false
 				}
 			}
 		}
@@ -208,7 +274,7 @@ func (c *Cache) exact(g *graphs.Graph, opts mis.Options, sess *Session) (mis.Sol
 		})
 	}
 	if !fromDisk {
-		sol, err = mis.Exact(g, opts)
+		sol, err = mis.ExactCtx(ctx, g, opts)
 		if err == nil && disk != nil {
 			if evicted, werr := disk.store(key, sol); werr == nil {
 				c.mu.Lock()
@@ -240,7 +306,7 @@ func (c *Cache) exact(g *graphs.Graph, opts mis.Options, sess *Session) (mis.Sol
 		sess.record(func(st *Stats) { st.StepsSolved += sol.Steps })
 	}
 	close(e.ready)
-	return clone(sol), err
+	return clone(sol), err, false
 }
 
 // SetDir attaches (or, with an empty dir, detaches) the persistent on-disk
@@ -418,8 +484,14 @@ func Enabled() bool { return enabled.Load() }
 // programs and the experiment suite: it routes through the shared cache
 // when enabled and falls back to a direct solve otherwise.
 func Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
+	return ExactCtx(context.Background(), g, opts)
+}
+
+// ExactCtx is Exact under a context (see Cache.ExactCtx for the
+// cancellation contract).
+func ExactCtx(ctx context.Context, g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
 	if !enabled.Load() {
-		return mis.Exact(g, opts)
+		return mis.ExactCtx(ctx, g, opts)
 	}
-	return shared.Exact(g, opts)
+	return shared.ExactCtx(ctx, g, opts)
 }

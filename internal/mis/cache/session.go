@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"sync"
 
 	"congestlb/internal/graphs"
@@ -26,6 +27,12 @@ import (
 type Session struct {
 	c       *Cache // nil = the Shared cache, resolved at call time
 	workers int
+	// ctx is the context bound by WithContext (nil = Background): every
+	// Exact call through the session observes it. It exists because the
+	// deep solve sites — the CONGEST node programs — receive a session, not
+	// a context; binding the run's context to the session threads
+	// cancellation through them without widening NodeProgram.
+	ctx context.Context
 
 	mu    sync.Mutex
 	stats Stats
@@ -36,6 +43,27 @@ type Session struct {
 // alone).
 func NewSession(c *Cache, workers int) *Session {
 	return &Session{c: c, workers: workers}
+}
+
+// WithContext binds ctx to the session and returns it: every subsequent
+// Exact call observes the context (cancellation stops in-flight
+// branch-and-bound on its batched cadence and returns the incumbent with
+// ctx.Err()). Bind before handing the session out — the field is not
+// synchronised, so it must be set while the session still has a single
+// owner. A nil receiver is returned unchanged.
+func (s *Session) WithContext(ctx context.Context) *Session {
+	if s != nil {
+		s.ctx = ctx
+	}
+	return s
+}
+
+// context resolves the bound context (Background when none).
+func (s *Session) context() context.Context {
+	if s == nil || s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
 }
 
 // Workers reports the solver worker count this session stamps onto solves.
@@ -68,11 +96,18 @@ func (s *Session) record(f func(*Stats)) {
 }
 
 // Exact solves through the session: the underlying cache serves or runs the
-// solve, the session books the traffic. On a nil session this is exactly
-// the package-level Exact.
+// solve, the session books the traffic, and the session's bound context
+// (WithContext) governs cancellation. On a nil session this is exactly the
+// package-level Exact.
 func (s *Session) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
+	return s.ExactCtx(s.context(), g, opts)
+}
+
+// ExactCtx is Exact under an explicit context, overriding the session's
+// bound one for this call.
+func (s *Session) ExactCtx(ctx context.Context, g *graphs.Graph, opts mis.Options) (mis.Solution, error) {
 	if s == nil {
-		return Exact(g, opts)
+		return ExactCtx(ctx, g, opts)
 	}
 	if opts.Workers == 0 {
 		opts.Workers = s.workers
@@ -82,7 +117,7 @@ func (s *Session) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error)
 		if !enabled.Load() {
 			// Shared-cache fast path switched off (tests): solve directly
 			// but keep the attribution exact.
-			sol, err := mis.Exact(g, opts)
+			sol, err := mis.ExactCtx(ctx, g, opts)
 			s.record(func(st *Stats) {
 				st.Misses++
 				if err == nil {
@@ -93,5 +128,5 @@ func (s *Session) Exact(g *graphs.Graph, opts mis.Options) (mis.Solution, error)
 		}
 		c = shared
 	}
-	return c.exact(g, opts, s)
+	return c.exact(ctx, g, opts, s)
 }

@@ -1,6 +1,7 @@
 package mis
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
@@ -114,9 +115,29 @@ func resolveWorkers(requested, n int) int {
 // with the best incumbent found so far (Optimal false) — a valid, possibly
 // sub-optimal witness budget-capped callers can still use.
 func Exact(g *graphs.Graph, opts Options) (Solution, error) {
+	return ExactCtx(context.Background(), g, opts)
+}
+
+// ExactCtx is Exact under a context: cancellation is observed on the same
+// batched cadence as the step budget (every stepFlushBatch explored nodes
+// per worker), and a cancelled solve returns the best incumbent found so
+// far together with ctx.Err() — exactly the ErrBudgetExceeded contract, so
+// cancellation is deterministic-safe: the witness is a valid independent
+// set whatever instant the context fired. A nil ctx means Background.
+func ExactCtx(ctx context.Context, g *graphs.Graph, opts Options) (Solution, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	n := g.N()
 	if n == 0 {
 		return Solution{Optimal: true}, nil
+	}
+	// A context that is already dead never starts the search: the greedy
+	// seed incumbent comes back immediately, well inside one batch cadence
+	// — checked before any solver state is built, so the n per-node solves
+	// of a cancelled CONGEST run don't each pay the bitset/cover setup.
+	if err := ctx.Err(); err != nil {
+		return SeedIncumbent(g), err
 	}
 	cover, err := resolveCover(g, opts.CliqueCover)
 	if err != nil {
@@ -128,6 +149,8 @@ func Exact(g *graphs.Graph, opts Options) (Solution, error) {
 	}
 	st := newExactState(g, cover, maxSteps)
 	st.weightOnly = opts.WeightOnly
+	st.ctx = ctx
+	st.ctxDone = ctx.Done()
 	if workers := resolveWorkers(opts.Workers, n); workers > 1 {
 		return exactParallel(st, workers)
 	}
@@ -151,8 +174,17 @@ type exactState struct {
 	// caller consumes the weight alone, so the schedule-dependent witness
 	// the race kept is good enough (Options.WeightOnly).
 	weightOnly bool
-	steps      atomic.Int64 // explored nodes; workers flush in batches
-	stop       atomic.Bool  // budget exhausted: every worker unwinds
+	// ctx/ctxDone carry the caller's cancellation signal; both engines poll
+	// ctxDone on the stepFlushBatch cadence. ctxDone is nil for contexts
+	// that can never cancel, which keeps the poll free on the common path.
+	ctx     context.Context
+	ctxDone <-chan struct{}
+	// cancelled records that the stop below was triggered by the context
+	// rather than the step budget, so the engines report ctx.Err() instead
+	// of ErrBudgetExceeded.
+	cancelled atomic.Bool
+	steps     atomic.Int64 // explored nodes; workers flush in batches
+	stop      atomic.Bool  // budget exhausted or cancelled: every worker unwinds
 	// warmedUp gates donations: the first worker dives the root in
 	// sequential order for one step batch before the tree is split, so the
 	// incumbent is strong by the time top-level exclude branches start
@@ -192,7 +224,7 @@ func newExactState(g *graphs.Graph, cover coverInfo, maxSteps int64) *exactState
 		row[v/64] |= 1 << (uint(v) % 64)
 		st.closed[v] = row
 	}
-	seed := Greedy(g, GreedyByRatio)
+	seed := SeedIncumbent(g)
 	st.best.Store(seed.Weight)
 	st.seedWeight = seed.Weight
 	for _, v := range seed.Set {
@@ -253,6 +285,9 @@ type searcher struct {
 
 	localSteps int64 // steps not yet flushed to st.steps
 	canonSteps int64 // nodes visited by the canonicalisation pass
+	// canonAborted marks a canonicalisation pass cut short by the context;
+	// the replay unwinds without touching the incumbent set.
+	canonAborted bool
 }
 
 func newSearcher(st *exactState, pool *workPool) *searcher {
@@ -333,6 +368,18 @@ func exactSequential(st *exactState) (Solution, error) {
 func (w *searcher) searchSeq(p []uint64, cur int64, depth int) error {
 	st := w.st
 	w.localSteps++
+	// Cancellation polls on the budget-batch cadence, not per node — and
+	// additionally whenever the budget is about to trip, so a solve that
+	// is both cancelled and over budget reports the context, matching the
+	// parallel engine's precedence (flushAndCheck) at every worker count.
+	if st.ctxDone != nil && (w.localSteps%stepFlushBatch == 0 || w.localSteps > st.maxSteps) {
+		select {
+		case <-st.ctxDone:
+			st.cancelled.Store(true)
+			return st.ctx.Err()
+		default:
+		}
+	}
 	if w.localSteps > st.maxSteps {
 		return fmt.Errorf("%w after %d steps", ErrBudgetExceeded, w.localSteps)
 	}

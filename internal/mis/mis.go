@@ -162,6 +162,14 @@ const (
 	GreedyByDegree
 )
 
+// SeedIncumbent returns the greedy solution the Exact search seeds its
+// incumbent with — the floor every cancelled or budget-capped solve is
+// guaranteed to return at least. It exists as the single definition of
+// that seed: the solver's state constructor, the dead-context fast path
+// and the cache's abandoned-waiter fallback all call it, so a future
+// change of seed strategy cannot silently diverge between them.
+func SeedIncumbent(g *graphs.Graph) Solution { return Greedy(g, GreedyByRatio) }
+
 // Greedy computes a maximal independent set with the given strategy. The
 // result is maximal but generally not optimal.
 func Greedy(g *graphs.Graph, strategy GreedyStrategy) Solution {

@@ -227,6 +227,9 @@ func exactParallel(st *exactState, workers int) (Solution, error) {
 
 	total := st.steps.Load()
 	if st.stop.Load() {
+		if st.cancelled.Load() {
+			return st.solution(false, total), st.ctx.Err()
+		}
 		return st.solution(false, total), fmt.Errorf("%w after %d steps", ErrBudgetExceeded, total)
 	}
 	// The weight is now provably optimal; stabilise the witness so the
@@ -240,7 +243,17 @@ func exactParallel(st *exactState, workers int) (Solution, error) {
 	// the witness.
 	var canonSteps int64
 	if !st.weightOnly && st.best.Load() > st.seedWeight {
-		canonSteps = searchers[0].canonicalize()
+		var ok bool
+		canonSteps, ok = searchers[0].canonicalize()
+		if !ok {
+			// Cancelled mid-canonicalisation: the weight is provably
+			// optimal but the witness is still the schedule-dependent one
+			// the race kept, so the result reports non-optimal with the
+			// context error — the incumbent contract, applied to the
+			// serial tail too (its latency is otherwise unbounded by the
+			// batch cadence the API promises).
+			return st.solution(false, total+canonSteps), st.ctx.Err()
+		}
 	}
 	return st.solution(true, total+canonSteps), nil
 }
@@ -266,14 +279,27 @@ func (w *searcher) runWorker(wg *sync.WaitGroup) {
 }
 
 // flushAndCheck moves the local step count into the shared counter and
-// enforces the budget; false means the budget blew and the worker must
-// unwind.
+// enforces the budget and the caller's context; false means the solve must
+// stop and the worker unwind. Cancellation is checked before the budget so
+// a solve that is both cancelled and over budget reports the context —
+// the caller asked for the stop, the budget merely coincided.
 func (w *searcher) flushAndCheck() bool {
-	total := w.st.steps.Add(w.localSteps)
+	st := w.st
+	total := st.steps.Add(w.localSteps)
 	w.localSteps = 0
-	w.st.warmedUp.Store(true)
-	if total > w.st.maxSteps {
-		w.st.stop.Store(true)
+	st.warmedUp.Store(true)
+	if st.ctxDone != nil {
+		select {
+		case <-st.ctxDone:
+			st.cancelled.Store(true)
+			st.stop.Store(true)
+			w.pool.abort()
+			return false
+		default:
+		}
+	}
+	if total > st.maxSteps {
+		st.stop.Store(true)
 		w.pool.abort()
 		return false
 	}
@@ -360,24 +386,39 @@ func popAtLeast(p []uint64, k int) bool {
 // sliver of the sequential search — maximal pruning from the first node.
 // (When the seed is already optimal both engines return the seed set and
 // this pass must not run — see exactParallel.) Returns the nodes visited
-// (added to Solution.Steps).
-func (w *searcher) canonicalize() int64 {
+// (added to Solution.Steps) and whether the pass completed: false means
+// the context fired mid-replay — polled on the same batch cadence as the
+// search proper, so even this serial tail honours the cancellation
+// latency contract — and the incumbent set was left untouched.
+func (w *searcher) canonicalize() (int64, bool) {
 	st := w.st
 	target := st.best.Load()
 	for i := range w.curSet {
 		w.curSet[i] = 0
 	}
 	w.canonSteps = 0
+	w.canonAborted = false
 	if w.canonSearch(st.rootCandidates(), 0, 0, target) {
 		copy(st.bestSet, w.curSet)
 	}
-	return w.canonSteps
+	return w.canonSteps, !w.canonAborted
 }
 
 // canonSearch mirrors searchSeq node for node under a fixed target bound.
 func (w *searcher) canonSearch(p []uint64, cur int64, depth int, target int64) bool {
 	st := w.st
+	if w.canonAborted {
+		return false
+	}
 	w.canonSteps++
+	if st.ctxDone != nil && w.canonSteps%stepFlushBatch == 0 {
+		select {
+		case <-st.ctxDone:
+			w.canonAborted = true
+			return false
+		default:
+		}
+	}
 	if cur == target {
 		return true
 	}

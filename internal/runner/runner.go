@@ -37,6 +37,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -51,11 +52,12 @@ import (
 )
 
 // Schema identifies the envelope format; bump when fields change meaning.
-// v3: per-experiment instance_jobs (intra-experiment sharding) and
-// lbgraph_hits/lbgraph_misses (build-cache attribution), run-level
-// lbgraph_cache block, and Jobs is no longer clamped to the experiment
-// count (extra workers run instance jobs).
-const Schema = "congestlb/experiment-envelope/v3"
+// v4: runs are context-aware — per-experiment cancelled flag and run-level
+// cancelled count record experiments left unfinished when the run's
+// context fired (cmd/experiments -timeout), and Options can pin the run to
+// caller-owned caches and a caller-owned scheduler (the congestlb.Lab
+// isolation seam) instead of the process-wide shared ones.
+const Schema = "congestlb/experiment-envelope/v4"
 
 // Experiment statuses in the envelope.
 const (
@@ -67,12 +69,28 @@ const (
 type Options struct {
 	// Jobs is the worker-pool size; values < 1 select GOMAXPROCS. The
 	// pool is shared between experiment-level and per-instance jobs, so
-	// values above the experiment count still buy parallelism.
+	// values above the experiment count still buy parallelism. Ignored
+	// when Scheduler is set (the scheduler's own size wins).
 	Jobs int
 	// SolverWorkers is the branch-and-bound worker count stamped onto
 	// every exact solve of the run (0 = the solver's default, GOMAXPROCS).
 	// The effective value is recorded in the envelope.
 	SolverWorkers int
+	// SolveCache pins the run's exact solves to a caller-owned cache
+	// instead of the process-wide shared one; BuildCache does the same for
+	// the lower-bound graph constructions. Both nil by default (shared
+	// caches), both set by congestlb.Lab so two Labs in one process share
+	// no cache state whatsoever.
+	SolveCache *cache.Cache
+	BuildCache *lbgraph.BuildCache
+	// UncachedBuilds bypasses every build cache (constructions run from
+	// scratch, attribution intact) — the Lab's WithBuildCache(false) mode.
+	// BuildCache is ignored when set.
+	UncachedBuilds bool
+	// Scheduler reuses a caller-owned worker pool across runs instead of
+	// starting (and stopping) a private one. The caller keeps ownership:
+	// Run never closes it.
+	Scheduler *experiments.Scheduler
 }
 
 // ExperimentResult is one experiment's record in the JSON envelope.
@@ -84,6 +102,12 @@ type ExperimentResult struct {
 	Status string `json:"status"`
 	// Error carries the failure text when Status is StatusFailed.
 	Error string `json:"error,omitempty"`
+	// Cancelled marks an experiment left unfinished because the run's
+	// context fired — either before it started (nothing ran) or mid-run
+	// (partial work, incumbent-style results discarded). Cancelled
+	// experiments also count as failed; the flag distinguishes "the
+	// deadline hit" from "an assertion failed".
+	Cancelled bool `json:"cancelled,omitempty"`
 	// WallMS is the experiment's wall-clock time in milliseconds.
 	WallMS float64 `json:"wall_ms"`
 	// InstanceJobs counts the per-instance jobs the experiment submitted
@@ -119,9 +143,11 @@ type Envelope struct {
 	// sharding win on multi-core runs.
 	WallMS       float64 `json:"wall_ms"`
 	SequentialMS float64 `json:"sequential_ms"`
-	// OK and Failed count experiment statuses.
-	OK     int `json:"ok"`
-	Failed int `json:"failed"`
+	// OK and Failed count experiment statuses; Cancelled counts the subset
+	// of failures that were context cancellations (always ≤ Failed).
+	OK        int `json:"ok"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled,omitempty"`
 	// Cache reports the shared solve cache's traffic across the run: the
 	// hit/miss/eviction/steps fields are counter deltas (this run only);
 	// Entries is the cache's occupancy level at the end of the run, not a
@@ -141,6 +167,20 @@ type Envelope struct {
 // failures exactly like experiments.RunAll; the envelope is valid (and
 // complete) even when experiments fail.
 func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, error) {
+	return RunCtx(context.Background(), exps, opts, w)
+}
+
+// RunCtx is Run under a context. Cancellation is cooperative and loss-free
+// for the envelope: experiments still queued when the context fires are
+// recorded as cancelled without running, in-flight experiments observe the
+// context through their solve sessions, CONGEST round loops and instance
+// jobs and come back with a ctx error, and the envelope (with cancelled
+// flags and counts) plus whatever report sections completed are still
+// produced — a partial but well-formed result, never a torn one.
+func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	jobs := opts.Jobs
 	if jobs < 1 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -155,6 +195,36 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	if solverWorkers <= 0 {
 		solverWorkers = runtime.GOMAXPROCS(0)
 	}
+	// The stats below diff the caches this run actually uses: the shared
+	// pair by default, the caller's own (a Lab's) when pinned in Options.
+	// An UncachedBuilds run touches no build cache at all — its run-level
+	// lbgraph numbers come from summing the per-experiment sessions
+	// instead (below), so no snapshot is taken.
+	statsCache := opts.SolveCache
+	if statsCache == nil {
+		statsCache = cache.Shared()
+	}
+	var statsBuild *lbgraph.BuildCache
+	if !opts.UncachedBuilds {
+		statsBuild = opts.BuildCache
+		if statsBuild == nil {
+			statsBuild = lbgraph.SharedBuildCache()
+		}
+	}
+
+	// One scheduler serves both levels: experiment jobs submitted here and
+	// the per-instance jobs those experiments fan out through Ctx.Go.
+	// Each job owns the buffer and result slot of its experiment index;
+	// done[i] is closed when slot i is final. The flush loop below waits
+	// on the slots in order, so output streams as soon as the next
+	// experiment in report order has finished — not only at the end.
+	sched := opts.Scheduler
+	ownSched := sched == nil
+	if ownSched {
+		sched = experiments.NewScheduler(jobs)
+	} else {
+		jobs = sched.Workers()
+	}
 
 	env := Envelope{
 		Schema:        Schema,
@@ -163,19 +233,19 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 		Experiments:   make([]ExperimentResult, len(exps)),
 	}
 	start := time.Now()
-	cacheBefore := cache.Shared().Stats()
-	buildBefore := lbgraph.SharedBuildCache().Stats()
+	cacheBefore := statsCache.Stats()
+	var buildBefore lbgraph.CacheStats
+	if statsBuild != nil {
+		buildBefore = statsBuild.Stats()
+	}
 
-	// One scheduler serves both levels: experiment jobs submitted here and
-	// the per-instance jobs those experiments fan out through Ctx.Go.
-	// Each job owns the buffer and result slot of its experiment index;
-	// done[i] is closed when slot i is final. The flush loop below waits
-	// on the slots in order, so output streams as soon as the next
-	// experiment in report order has finished — not only at the end.
-	sched := experiments.NewScheduler(jobs)
 	type slot struct {
 		buf  strings.Builder
 		done chan struct{}
+		// sess holds the experiment's full session counters (a superset of
+		// what its envelope record carries — the disk-tier fields live only
+		// here); the run-level traffic totals are their sum.
+		sess cache.Stats
 	}
 	slots := make([]*slot, len(exps))
 	for i := range slots {
@@ -183,7 +253,7 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	}
 	for i := range exps {
 		sched.Submit(func() {
-			runOne(exps[i], sched, &slots[i].buf, &env.Experiments[i], opts.SolverWorkers)
+			slots[i].sess = runOne(ctx, exps[i], sched, &slots[i].buf, &env.Experiments[i], opts)
 			close(slots[i].done)
 		})
 	}
@@ -196,28 +266,41 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 		}
 		slots[i].buf.Reset()
 	}
-	sched.Close()
+	if ownSched {
+		sched.Close()
+	}
 
 	env.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
-	cacheAfter := cache.Shared().Stats()
-	env.Cache = cache.Stats{
-		Hits:          cacheAfter.Hits - cacheBefore.Hits,
-		Misses:        cacheAfter.Misses - cacheBefore.Misses,
-		Evictions:     cacheAfter.Evictions - cacheBefore.Evictions,
-		Entries:       cacheAfter.Entries,
-		StepsSolved:   cacheAfter.StepsSolved - cacheBefore.StepsSolved,
-		StepsSaved:    cacheAfter.StepsSaved - cacheBefore.StepsSaved,
-		DiskHits:      cacheAfter.DiskHits - cacheBefore.DiskHits,
-		DiskMisses:    cacheAfter.DiskMisses - cacheBefore.DiskMisses,
-		DiskWrites:    cacheAfter.DiskWrites - cacheBefore.DiskWrites,
-		DiskEvictions: cacheAfter.DiskEvictions - cacheBefore.DiskEvictions,
+	// Run-level traffic is the sum of the per-experiment session counters:
+	// exact at any concurrency, including overlapping RunExperiments calls
+	// on one Lab, where diffing the cache across this run's window would
+	// book the other run's traffic too. Evictions and Entries stay
+	// snapshot-based — they belong to the cache, not to any one run.
+	for _, s := range slots {
+		st := s.sess
+		env.Cache.Hits += st.Hits
+		env.Cache.Misses += st.Misses
+		env.Cache.StepsSolved += st.StepsSolved
+		env.Cache.StepsSaved += st.StepsSaved
+		env.Cache.DiskHits += st.DiskHits
+		env.Cache.DiskMisses += st.DiskMisses
+		env.Cache.DiskWrites += st.DiskWrites
+		env.Cache.DiskEvictions += st.DiskEvictions
 	}
-	buildAfter := lbgraph.SharedBuildCache().Stats()
-	env.LBGraph = lbgraph.CacheStats{
-		Hits:      buildAfter.Hits - buildBefore.Hits,
-		Misses:    buildAfter.Misses - buildBefore.Misses,
-		Evictions: buildAfter.Evictions - buildBefore.Evictions,
-		Entries:   buildAfter.Entries,
+	cacheAfter := statsCache.Stats()
+	env.Cache.Evictions = cacheAfter.Evictions - cacheBefore.Evictions
+	env.Cache.Entries = cacheAfter.Entries
+	// Same summation story for the build cache (whose per-experiment
+	// session counters already sit in the records); with UncachedBuilds
+	// (statsBuild nil) there is no cache to snapshot occupancy from.
+	for _, r := range env.Experiments {
+		env.LBGraph.Hits += r.LBGraphHits
+		env.LBGraph.Misses += r.LBGraphMisses
+	}
+	if statsBuild != nil {
+		buildAfter := statsBuild.Stats()
+		env.LBGraph.Evictions = buildAfter.Evictions - buildBefore.Evictions
+		env.LBGraph.Entries = buildAfter.Entries
 	}
 
 	var failures []string
@@ -225,6 +308,9 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 		env.SequentialMS += r.WallMS
 		if r.Status == StatusFailed {
 			env.Failed++
+			if r.Cancelled {
+				env.Cancelled++
+			}
 			failures = append(failures, fmt.Sprintf("%s: %s", r.ID, r.Error))
 		} else {
 			env.OK++
@@ -242,42 +328,68 @@ func Run(exps []experiments.Experiment, opts Options, w io.Writer) (Envelope, er
 	return env, failErr
 }
 
-// runOne executes a single experiment into its private buffer and fills
-// its envelope record. The markdown framing replicates experiments.RunAll
+// runOne executes a single experiment into its private buffer, fills its
+// envelope record, and returns the experiment's full solve-session
+// counters (the run-level totals are their sum). The markdown framing replicates experiments.RunAll
 // byte for byte. The private cache sessions make the solver/cache/build
 // numbers exactly this experiment's, however many jobs run concurrently;
 // the scheduler hands the experiment's Ctx.Go instance jobs to the shared
 // pool.
-func runOne(e experiments.Experiment, sched *experiments.Scheduler, buf *strings.Builder, res *ExperimentResult, solverWorkers int) {
+func runOne(ctx context.Context, e experiments.Experiment, sched *experiments.Scheduler, buf *strings.Builder, res *ExperimentResult, opts Options) cache.Stats {
 	res.ID, res.Title, res.PaperRef = e.ID, e.Title, e.PaperRef
 	fmt.Fprintf(buf, "## %s — %s\n\n*Reproduces: %s*\n\n", e.ID, e.Title, e.PaperRef)
-	sess := cache.NewSession(nil, solverWorkers)
-	ctx := experiments.NewCtx(buf, sess).WithScheduler(sched)
+	if err := ctx.Err(); err != nil {
+		// The run's context fired while this experiment was still queued:
+		// record it as cancelled without running anything, so the envelope
+		// stays complete (one record per experiment) on a timeout.
+		res.Status, res.Error, res.Cancelled = StatusFailed, err.Error(), true
+		fmt.Fprintf(buf, "**FAILED**: %v\n\n", err)
+		return cache.Stats{}
+	}
+	sess := cache.NewSession(opts.SolveCache, opts.SolverWorkers).WithContext(ctx)
+	var bsess *lbgraph.CacheSession
+	if opts.UncachedBuilds {
+		bsess = lbgraph.NewUncachedCacheSession()
+	} else {
+		bsess = lbgraph.NewCacheSession(opts.BuildCache)
+	}
+	ectx := experiments.NewCtx(buf, sess).WithBuilds(bsess).WithScheduler(sched).WithContext(ctx)
 	start := time.Now()
-	err := e.Run(ctx)
+	err := e.Run(ectx)
 	// An experiment that errors between Go and Gather leaves instance
 	// jobs queued or running. Drain them before snapshotting: their cache
 	// traffic belongs to this experiment's record, and a leaked job must
 	// not keep occupying a pool worker (or mutating this experiment's
 	// sessions) into later experiments' windows. Their errors are
 	// discarded — a sequential early-returning loop never ran them.
-	_ = ctx.Gather()
+	_ = ectx.Gather()
 	res.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	st := sess.Stats()
+	sessStats := st
 	res.SolveSteps = st.StepsSolved
 	res.StepsSaved = st.StepsSaved
 	res.CacheHits = st.Hits
 	res.CacheMisses = st.Misses
-	bst := ctx.Builds.Stats()
+	bst := ectx.Builds.Stats()
 	res.LBGraphHits = bst.Hits
 	res.LBGraphMisses = bst.Misses
-	res.InstanceJobs = ctx.InstanceJobs()
+	res.InstanceJobs = ectx.InstanceJobs()
 	if err != nil {
 		res.Status = StatusFailed
 		res.Error = err.Error()
+		// Classify context cancellations (the experiment was healthy, the
+		// deadline was not) so cmd/experiments -timeout can report a
+		// partial envelope honestly. Only the error chain decides — the
+		// plumbing wraps ctx errors with %w everywhere — because "the
+		// deadline has expired by now" must not relabel a genuine
+		// assertion failure that raced it as a mere timeout.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			res.Cancelled = true
+		}
 		fmt.Fprintf(buf, "**FAILED**: %v\n\n", err)
-		return
+		return sessStats
 	}
 	res.Status = StatusOK
 	fmt.Fprintf(buf, "\n")
+	return sessStats
 }

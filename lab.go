@@ -1,0 +1,599 @@
+package congestlb
+
+// Lab is the library's service handle: an instantiable, context-aware
+// replacement for the old process-wide configuration globals. Each Lab owns
+// its own exact-solve cache (with an optional persistent disk tier), its
+// own lower-bound-graph build cache, its own branch-and-bound worker
+// default and its own experiment worker pool — two Labs in one process
+// share nothing, so a server can host isolated tenants, A/B configurations
+// or concurrent workloads without any cross-talk, and every long-running
+// operation takes a context.Context that cancels it cooperatively.
+//
+// The old package-level Set*/Shared* functions and long-running free
+// functions remain as deprecated thin wrappers over a lazily-created
+// default Lab backed by the process-wide shared caches, so existing code
+// keeps its exact behaviour. See docs/api.md for the lifecycle, the full
+// option set, the deprecation map and the isolation guarantees.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"congestlb/internal/core"
+	"congestlb/internal/experiments"
+	"congestlb/internal/lbgraph"
+	"congestlb/internal/mis"
+	"congestlb/internal/mis/cache"
+	"congestlb/internal/runner"
+)
+
+// Experiment is one registered reproduction experiment (see RunExperiments
+// and cmd/experiments).
+type Experiment = experiments.Experiment
+
+// ExperimentEnvelope is the structured JSON result of one RunExperiments
+// call (schema v4): one record per experiment plus run-level cache and
+// timing totals.
+type ExperimentEnvelope = runner.Envelope
+
+// ExperimentResult is one experiment's record in an ExperimentEnvelope.
+type ExperimentResult = runner.ExperimentResult
+
+// AllExperiments returns every registered experiment in ID order.
+func AllExperiments() []Experiment { return experiments.All() }
+
+// Lab is a self-contained instance of the library's services. The zero
+// value is not usable; create Labs with New (isolated) or use DefaultLab
+// (the shared-state instance behind the deprecated package-level API).
+//
+// Isolation guarantees: a Lab created by New owns a private solve cache,
+// private disk tier (if configured), private build cache, private solver
+// worker default and private scheduler pool. No operation on one Lab can
+// observe or mutate another Lab's state; in particular two Labs with
+// different solve-cache directories never cross-populate. The only state
+// Labs inherently share is the process itself (GOMAXPROCS, memory).
+//
+// Every potentially long-running method takes a context.Context:
+// cancellation stops CONGEST round loops at round boundaries, queued
+// experiment/instance jobs before they start, and in-flight
+// branch-and-bound on the solver's batched step cadence — returning the
+// best incumbent found together with ctx.Err(), exactly like a step-budget
+// exhaustion, so cancellation never produces a torn result. Graph
+// construction is the one stage that is not interruptible mid-build: a
+// dead context is observed before a build starts, never inside one.
+//
+// A Lab is safe for concurrent use. Close releases its worker pool and
+// detaches its disk tier; a closed Lab rejects RunExperiments but its
+// pure solve/simulate methods keep working.
+type Lab struct {
+	// solve/builds are nil on the default Lab, which resolves to the
+	// process-wide shared instances at call time (preserving the exact
+	// semantics of the deprecated globals, including SetEnabled gates).
+	solve  *cache.Cache
+	builds *lbgraph.BuildCache
+	// def marks the default Lab: its solver-worker setting delegates to
+	// the mis package default so programs constructed without a session
+	// agree with it, exactly as the deprecated SetSolverWorkers did.
+	def bool
+
+	mu            sync.Mutex
+	idle          *sync.Cond // signalled when active drops to zero
+	workers       int
+	jobs          int
+	buildCacheOff bool
+	sched         *experiments.Scheduler
+	active        int // in-flight RunExperiments calls; Close waits for zero
+	closed        bool
+	// closeDone is non-nil once a Close has taken ownership of the
+	// teardown and closed when that teardown finished — every other Close
+	// call blocks on it, so no caller returns before the pool is drained.
+	closeDone chan struct{}
+}
+
+// labConfig accumulates functional options.
+type labConfig struct {
+	workers    int
+	jobs       int
+	memEntries int
+	cacheDir   string
+	buildCache bool
+}
+
+// Option configures a Lab at construction time.
+type Option func(*labConfig)
+
+// WithSolverWorkers sets the Lab's branch-and-bound worker default, applied
+// to every exact solve that does not pin SolverOptions.Workers itself
+// (0 = GOMAXPROCS at solve time). Results are deterministic at any count.
+func WithSolverWorkers(n int) Option {
+	return func(c *labConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.workers = n
+	}
+}
+
+// WithSolveCacheDir attaches a persistent on-disk tier to the Lab's solve
+// cache: content-identical solves in later processes (or other Labs
+// pointed at the same directory) are served from disk instead of re-running
+// branch-and-bound. The directory is created if missing; Close detaches it.
+func WithSolveCacheDir(dir string) Option {
+	return func(c *labConfig) { c.cacheDir = dir }
+}
+
+// WithMemoryCacheSize bounds the Lab's in-memory solve cache to the given
+// number of entries (0 = the package default). Solutions are small, so the
+// default comfortably covers whole experiment suites.
+func WithMemoryCacheSize(entries int) Option {
+	return func(c *labConfig) { c.memEntries = entries }
+}
+
+// WithBuildCache switches the Lab's lower-bound-graph build cache on or
+// off (on by default). Builds are deterministic, so the cache is
+// semantically transparent; off exists for A/B measurements.
+func WithBuildCache(on bool) Option {
+	return func(c *labConfig) { c.buildCache = on }
+}
+
+// WithJobs sets the Lab's experiment worker-pool size used by
+// RunExperiments (0 = GOMAXPROCS). The pool is created lazily on first use
+// and lives until Close.
+func WithJobs(n int) Option {
+	return func(c *labConfig) {
+		if n < 0 {
+			n = 0
+		}
+		c.jobs = n
+	}
+}
+
+// New creates an isolated Lab from the given options. The returned Lab
+// shares no mutable state with any other Lab or with the deprecated
+// package-level API; callers that use RunExperiments should Close it when
+// done to release its worker pool.
+func New(opts ...Option) (*Lab, error) {
+	cfg := labConfig{buildCache: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	l := &Lab{
+		solve:   cache.New(cfg.memEntries),
+		workers: cfg.workers,
+		jobs:    cfg.jobs,
+	}
+	if cfg.buildCache {
+		l.builds = lbgraph.NewBuildCache(0)
+	} else {
+		l.buildCacheOff = true
+	}
+	if cfg.cacheDir != "" {
+		if err := l.solve.SetDir(cfg.cacheDir, 0); err != nil {
+			return nil, fmt.Errorf("congestlb: solve cache dir: %w", err)
+		}
+	}
+	return l, nil
+}
+
+// defaultLab is the lazily-created Lab behind the deprecated package-level
+// API: nil solve/builds resolve to the process-wide shared caches, and its
+// worker setting delegates to the mis package default — so the wrappers
+// behave exactly as the globals they replace.
+var (
+	defaultLabOnce sync.Once
+	defaultLabInst *Lab
+)
+
+// DefaultLab returns the process-wide Lab the deprecated package-level
+// functions delegate to. It is backed by the shared caches (so legacy code
+// and DefaultLab users observe one coherent state) and must not be Closed.
+// New code should create its own Lab with New.
+func DefaultLab() *Lab {
+	defaultLabOnce.Do(func() {
+		defaultLabInst = &Lab{def: true}
+	})
+	return defaultLabInst
+}
+
+// solveCache resolves the Lab's solve cache (shared for the default Lab).
+func (l *Lab) solveCache() *cache.Cache {
+	if l.solve == nil {
+		return cache.Shared()
+	}
+	return l.solve
+}
+
+// buildCache resolves the Lab's build cache (shared for the default Lab;
+// nil when the Lab was configured with WithBuildCache(false)).
+func (l *Lab) buildCache() *lbgraph.BuildCache {
+	if l.def {
+		return lbgraph.SharedBuildCache()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.builds
+}
+
+// solveSession builds a ctx-bound attributed session over the Lab's solve
+// cache, stamping the Lab's solver-worker default onto solves.
+func (l *Lab) solveSession(ctx context.Context) *cache.Session {
+	return cache.NewSession(l.solve, l.sessionWorkers()).WithContext(ctx)
+}
+
+// sessionWorkers is the worker count stamped onto session solves: the
+// default Lab stamps nothing (0) so the mis package default keeps
+// resolving at solve time, exactly like the legacy path. Isolated Labs
+// with no explicit setting pin GOMAXPROCS here instead of leaving 0,
+// because 0 would fall through to the mutable process-wide mis default at
+// solve time — another tenant's (or legacy code's) SetSolverWorkers could
+// silently reconfigure this Lab, breaking the share-nothing guarantee.
+func (l *Lab) sessionWorkers() int {
+	if l.def {
+		return 0
+	}
+	l.mu.Lock()
+	w := l.workers
+	l.mu.Unlock()
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// newBuildSession builds an attributed session over the Lab's build cache.
+func (l *Lab) newBuildSession() *lbgraph.CacheSession {
+	if l.def {
+		return lbgraph.NewCacheSession(nil)
+	}
+	l.mu.Lock()
+	off, builds := l.buildCacheOff, l.builds
+	l.mu.Unlock()
+	if off {
+		return lbgraph.NewUncachedCacheSession()
+	}
+	return lbgraph.NewCacheSession(builds)
+}
+
+// SetSolverWorkers sets the Lab's branch-and-bound worker default and
+// returns the previous setting (0 = GOMAXPROCS at solve time). On the
+// default Lab this is the process-wide default, as the deprecated
+// package-level SetSolverWorkers always was.
+func (l *Lab) SetSolverWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	if l.def {
+		return mis.SetDefaultWorkers(n)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := l.workers
+	l.workers = n
+	return prev
+}
+
+// SolverWorkers reports the Lab's current worker default (0 = GOMAXPROCS
+// at solve time).
+func (l *Lab) SolverWorkers() int {
+	if l.def {
+		return mis.DefaultWorkers()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.workers
+}
+
+// SetSolveCacheDir attaches (or, with "", detaches) the persistent disk
+// tier of this Lab's solve cache. Unlike the deprecated global, this can
+// never smear configuration across tenants: only this Lab's solves are
+// affected. A closed Lab refuses re-attachment — Close's detach is final,
+// so a caller may delete the directory after Close returns.
+func (l *Lab) SetSolveCacheDir(dir string) error {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return errors.New("congestlb: Lab is closed")
+	}
+	return l.solveCache().SetDir(dir, 0)
+}
+
+// SolveCacheDir reports the Lab's attached disk-tier directory ("" when
+// none).
+func (l *Lab) SolveCacheDir() string { return l.solveCache().DiskDir() }
+
+// SolveCacheStats snapshots the Lab's solve-cache counters.
+func (l *Lab) SolveCacheStats() SolveCacheStats { return l.solveCache().Stats() }
+
+// BuildCacheStats snapshots the Lab's build-cache counters (zero when the
+// Lab was configured with WithBuildCache(false)).
+func (l *Lab) BuildCacheStats() BuildCacheStats {
+	c := l.buildCache()
+	if c == nil {
+		return BuildCacheStats{}
+	}
+	return c.Stats()
+}
+
+// SetBuildCacheEnabled switches the Lab's build cache on or off and
+// returns the previous setting. On the default Lab this is the
+// process-wide lbgraph switch, preserving the deprecated global's scope.
+func (l *Lab) SetBuildCacheEnabled(on bool) bool {
+	if l.def {
+		return lbgraph.SetCacheEnabled(on)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := !l.buildCacheOff
+	l.buildCacheOff = !on
+	if on && l.builds == nil {
+		l.builds = lbgraph.NewBuildCache(0)
+	}
+	return prev
+}
+
+// NewSolveSession returns an attributed view of the Lab's solve cache that
+// counts exactly the traffic routed through it and stamps the Lab's solver
+// worker default onto its solves.
+func (l *Lab) NewSolveSession() *SolveSession {
+	return cache.NewSession(l.solve, l.sessionWorkers())
+}
+
+// NewBuildSession returns an attributed view of the Lab's build cache.
+func (l *Lab) NewBuildSession() *BuildSession { return l.newBuildSession() }
+
+// labBuilder is implemented by the concrete families (Linear, Quadratic,
+// UnweightedLinear): Build with the construction routed through an
+// attributed build-cache session. Families without it (external Family
+// implementations) fall back to their own Build.
+type labBuilder interface {
+	BuildWith(*lbgraph.CacheSession, Inputs) (Instance, error)
+}
+
+// buildInstance constructs G_x̄ through the Lab's build cache when the
+// family supports attribution, else through the family directly.
+func (l *Lab) buildInstance(fam Family, in Inputs) (Instance, error) {
+	if fb, ok := fam.(labBuilder); ok {
+		return fb.BuildWith(l.newBuildSession(), in)
+	}
+	return fam.Build(in)
+}
+
+// BuildInstance constructs and validates an instance for a family and
+// input through this Lab's build cache — the Lab counterpart of the
+// package-level BuildInstance, which routes through the process-wide
+// shared cache. Use this form when the instance feeds the Lab's other
+// methods, so build traffic books (and memoises) inside the Lab.
+func (l *Lab) BuildInstance(fam Family, in Inputs) (Instance, error) {
+	inst, err := l.buildInstance(fam, in)
+	if err != nil {
+		return Instance{}, fmt.Errorf("congestlb: building %s: %w", fam.Name(), err)
+	}
+	if err := inst.Graph.Validate(); err != nil {
+		return Instance{}, fmt.Errorf("congestlb: built graph invalid: %w", err)
+	}
+	return inst, nil
+}
+
+// RunReduction executes the Theorem 5 simulation with the standard
+// gossip-and-solve-exactly CONGEST algorithm through this Lab's caches:
+// it builds G_x̄, runs the algorithm, charges every cut-crossing message to
+// a blackboard, decides promise pairwise disjointness via the gap
+// predicate and reports the full accounting. Cancelling ctx stops the
+// round loop at a round boundary (or an in-flight local solve on its step
+// cadence) and returns the context's error.
+func (l *Lab) RunReduction(ctx context.Context, fam Family, in Inputs, cfg CongestConfig) (SimulationReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return SimulationReport{}, err
+	}
+	inst, err := l.buildInstance(fam, in)
+	if err != nil {
+		return SimulationReport{}, fmt.Errorf("core: build: %w", err)
+	}
+	sess := l.solveSession(ctx)
+	report, err := core.SimulateBuiltCtx(ctx, fam, in, inst, core.GossipProgramsWith(sess), core.GossipOpt, cfg)
+	if err != nil {
+		return report, err
+	}
+	// The report's cache counters default to process-wide shared-cache
+	// deltas (see SimulationReport), which are meaningless for a Lab
+	// routing its solves through a private cache — and could even pick up
+	// a concurrent tenant's traffic. The per-call session counted exactly
+	// this run's lookups, so report the exact numbers instead.
+	st := sess.Stats()
+	report.SolveCacheHits, report.SolveCacheMisses = st.Hits, st.Misses
+	return report, nil
+}
+
+// Simulate is RunReduction with a caller-chosen CONGEST algorithm and
+// output interpretation. The instance is built through the Lab's build
+// cache; whether the *solves* inside the node programs honour the Lab's
+// isolation is up to the factory, since the Lab cannot reach inside it.
+// Factories whose programs solve MaxIS must route those solves through a
+// session from NewSolveSession, bound to ctx via SolveSession.WithContext
+// (as core.GossipProgramsWith/CollectProgramsWith accept) — a session-less
+// factory such as core.GossipPrograms falls back to the process-wide
+// shared solve cache, outside this Lab's isolation and cancellation.
+//
+// The report's SolveCacheHits/Misses are zeroed on isolated Labs: the
+// underlying machinery can only diff the process-wide shared cache, which
+// this Lab does not use, so the numbers would describe other tenants'
+// traffic. Callers wanting exact counts read Stats() on the session they
+// handed the factory (RunReduction, which owns its session, reports them
+// itself).
+func (l *Lab) Simulate(ctx context.Context, fam Family, in Inputs, factory core.ProgramFactory, extract core.OptExtractor, cfg CongestConfig) (SimulationReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return SimulationReport{}, err
+	}
+	inst, err := l.buildInstance(fam, in)
+	if err != nil {
+		return SimulationReport{}, fmt.Errorf("core: build: %w", err)
+	}
+	report, err := core.SimulateBuiltCtx(ctx, fam, in, inst, factory, extract, cfg)
+	if !l.def {
+		report.SolveCacheHits, report.SolveCacheMisses = 0, 0
+	}
+	return report, err
+}
+
+// ExactMaxIS solves an instance exactly using its natural clique cover,
+// through this Lab's solve cache. On cancellation the best incumbent found
+// so far is returned together with ctx.Err() (Optimal false) — the same
+// contract as a step-budget exhaustion.
+func (l *Lab) ExactMaxIS(ctx context.Context, inst Instance) (Solution, error) {
+	return l.solveSession(ctx).Exact(inst.Graph, SolverOptions{CliqueCover: inst.CliqueCover})
+}
+
+// ExactMaxISGraph solves an arbitrary graph exactly (greedy clique cover)
+// through this Lab's solve cache, with the same cancellation contract as
+// ExactMaxIS.
+func (l *Lab) ExactMaxISGraph(ctx context.Context, g *Graph) (Solution, error) {
+	return l.solveSession(ctx).Exact(g, SolverOptions{})
+}
+
+// VerifyGap builds the instance for in through the Lab's build cache,
+// solves it exactly through the Lab's solve cache, and checks the correct
+// side of the family's gap predicate, returning the optimum. Only the
+// value is consumed, so the solve is flagged WeightOnly.
+func (l *Lab) VerifyGap(ctx context.Context, fam Family, in Inputs) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	inst, err := l.buildInstance(fam, in)
+	if err != nil {
+		return 0, err
+	}
+	sess := l.solveSession(ctx)
+	return core.AuditGapBuilt(fam, in, inst, func(inst Instance) (int64, error) {
+		sol, err := sess.Exact(inst.Graph, SolverOptions{CliqueCover: inst.CliqueCover, WeightOnly: true})
+		if err != nil {
+			return 0, err
+		}
+		return sol.Weight, nil
+	})
+}
+
+// SplitBest runs the Section 1 limitation protocol through this Lab's
+// solve cache: every player solves its own part locally and announces one
+// value, achieving a 1/t-approximation for t·O(log n) bits.
+func (l *Lab) SplitBest(ctx context.Context, inst Instance) (SplitBestReport, error) {
+	return core.SplitBestWith(l.solveSession(ctx), inst)
+}
+
+// beginRun registers an in-flight RunExperiments call and returns the
+// Lab's lazily-created pool plus the run's build-cache configuration,
+// holding the Lab open against Close until endRun. The refcount is what
+// makes Close safe to race with RunExperiments: Close drains the pool
+// only after every registered run has finished, so a run can never
+// submit onto a pool whose workers already exited (which would block
+// its flush loop forever).
+func (l *Lab) beginRun() (sched *experiments.Scheduler, builds *lbgraph.BuildCache, uncached bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, nil, false, errors.New("congestlb: Lab is closed")
+	}
+	if l.sched == nil {
+		jobs := l.jobs
+		if jobs < 1 {
+			jobs = runtime.GOMAXPROCS(0)
+		}
+		l.sched = experiments.NewScheduler(jobs)
+	}
+	l.active++
+	return l.sched, l.builds, l.buildCacheOff, nil
+}
+
+// endRun releases a beginRun registration.
+func (l *Lab) endRun() {
+	l.mu.Lock()
+	l.active--
+	if l.active == 0 && l.idle != nil {
+		l.idle.Broadcast()
+	}
+	l.mu.Unlock()
+}
+
+// RunExperiments executes the selected registered experiments (empty ids =
+// all of them, in ID order) over this Lab's worker pool, caches and solver
+// default, streaming the combined markdown report to w (nil discards) and
+// returning the structured result envelope. Cancellation drains queued
+// experiments and instance jobs as cancelled, stops in-flight simulations
+// and solves cooperatively, and still returns a complete envelope — every
+// unfinished experiment is recorded with cancelled: true.
+func (l *Lab) RunExperiments(ctx context.Context, ids []string, w io.Writer) (ExperimentEnvelope, error) {
+	exps, err := experiments.Select(ids)
+	if err != nil {
+		return ExperimentEnvelope{}, err
+	}
+	sched, builds, uncached, err := l.beginRun()
+	if err != nil {
+		return ExperimentEnvelope{}, err
+	}
+	defer l.endRun()
+	return runner.RunCtx(ctx, exps, runner.Options{
+		SolverWorkers:  l.sessionWorkers(),
+		SolveCache:     l.solve,
+		BuildCache:     builds,
+		UncachedBuilds: uncached,
+		Scheduler:      sched,
+	}, w)
+}
+
+// Close releases the Lab's worker pool and detaches its solve cache's disk
+// tier. Safe to call more than once; the default Lab must not be closed.
+// In-flight RunExperiments calls finish first (Scheduler.Close drains);
+// pure solve/simulate methods keep working on a closed Lab.
+func (l *Lab) Close() error {
+	if l.def {
+		return errors.New("congestlb: the default Lab cannot be closed")
+	}
+	l.mu.Lock()
+	if l.closeDone != nil {
+		// Another Close owns the teardown. Block until it completes —
+		// every Close returning means the pool is drained and the disk
+		// tier detached, so a caller may safely tear down external state
+		// (e.g. delete the cache directory) afterwards.
+		done := l.closeDone
+		l.mu.Unlock()
+		<-done
+		return nil
+	}
+	l.closed = true
+	l.closeDone = make(chan struct{})
+	defer close(l.closeDone)
+	// Wait out in-flight RunExperiments calls before stopping the pool:
+	// closing a scheduler whose runs are still submitting would leave
+	// their jobs unclaimed (the workers exit once the queue drains) and
+	// their flush loops blocked forever. New runs are already rejected by
+	// the closed flag above.
+	for l.active > 0 {
+		if l.idle == nil {
+			l.idle = sync.NewCond(&l.mu)
+		}
+		l.idle.Wait()
+	}
+	sched := l.sched
+	l.sched = nil
+	l.mu.Unlock()
+	if sched != nil {
+		sched.Close()
+	}
+	if l.solve != nil {
+		return l.solve.SetDir("", 0)
+	}
+	return nil
+}
