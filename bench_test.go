@@ -7,11 +7,14 @@ package congestlb_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
 
 	"congestlb"
+	"congestlb/internal/congest"
+	"congestlb/internal/congestalg"
 	"congestlb/internal/core"
 	"congestlb/internal/experiments"
 )
@@ -55,7 +58,25 @@ func BenchmarkExpUpperBounds(b *testing.B) { benchExperiment(b, "upperbounds") }
 func BenchmarkExpAblations(b *testing.B)   { benchExperiment(b, "ablations") }
 func BenchmarkExpDiameter(b *testing.B)    { benchExperiment(b, "diameter") }
 func BenchmarkExpSolver(b *testing.B)      { benchExperiment(b, "solver") }
-func BenchmarkExpScaling(b *testing.B)     { benchExperiment(b, "scaling") }
+// BenchmarkExpScaling times the scaling sweep whole (suite — the
+// successor of the old flat BenchmarkExpScaling measurement; benchjson
+// -compare maps the old name onto it) and each sweep point alone, so a
+// perf change at one instance size is visible as that point's delta
+// instead of vanishing into the sweep total.
+func BenchmarkExpScaling(b *testing.B) {
+	b.Run("suite", func(b *testing.B) { benchExperiment(b, "scaling") })
+	for i, p := range experiments.ScalingPoints() {
+		b.Run(fmt.Sprintf("n=%d", p.LinearN()), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for j := 0; j < b.N; j++ {
+				if _, err := experiments.RunScalingPoint(experiments.NewCtx(io.Discard, nil), i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 // BenchmarkLabOverhead measures what the Lab handle adds to a full
 // RunReduction on the figure instance, against the same reduction run
@@ -96,6 +117,66 @@ func BenchmarkLabOverhead(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := lab.RunReduction(ctx, fam, in, cfg); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchedSweep is the engine-level half of the batching story: B
+// identical-shape CONGEST runs as a loop of dedicated Networks versus one
+// congest.RunBatch lockstep pass over a shared graph. The batch side must
+// win on allocations (shared slabs, shared adjacency) and stay at least
+// even on time.
+func BenchmarkBatchedSweep(b *testing.B) {
+	p := congestlb.FigureParams(2)
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := fam.Build(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sweep = 8
+	n := inst.Graph.N()
+
+	b.Run("loop", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < sweep; j++ {
+				net, err := congest.NewNetwork(inst.Graph, congestalg.NewRankGreedyPrograms(n), congest.Config{Seed: int64(j)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := net.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			items := make([]congest.BatchItem, sweep)
+			for j := range items {
+				items[j] = congest.BatchItem{
+					Graph:    inst.Graph,
+					Programs: congestalg.NewRankGreedyPrograms(n),
+					Config:   congest.Config{Seed: int64(j)},
+				}
+			}
+			_, errs, _ := congest.RunBatch(context.Background(), items)
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	})

@@ -68,7 +68,18 @@ func parseLine(line string) (Result, bool) {
 	if err != nil {
 		return Result{}, false
 	}
-	r := Result{Name: fields[0], Iterations: iters}
+	// Strip the -<GOMAXPROCS> suffix the bench runner appends on
+	// multi-core machines (BenchmarkExpScaling/n=192-8), so baselines
+	// recorded on different core counts stay comparable. Only an
+	// all-digit suffix is a cpu count; sub-benchmark names keep their
+	// own dashes.
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := Result{Name: name, Iterations: iters}
 	// The remainder is unit pairs: value unit value unit ...
 	for i := 2; i+1 < len(fields); i += 2 {
 		value, unit := fields[i], fields[i+1]
@@ -125,7 +136,7 @@ func convert(r io.Reader, w io.Writer) error {
 // summary is written to w either way; a non-nil error means CI must fail.
 // With requireDiskHits, a run that served nothing from the persistent
 // disk tier also fails — the warm-cache CI smoke's assertion.
-func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits bool) error {
+func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched bool) error {
 	var env runner.Envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return fmt.Errorf("benchjson: envelope: %w", err)
@@ -140,6 +151,8 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits bool) error {
 		env.Cache.DiskHits, env.Cache.DiskMisses, env.Cache.DiskWrites, env.Cache.DiskEvictions)
 	fmt.Fprintf(w, "lbgraph build cache: %d hit / %d miss, %d entries\n",
 		env.LBGraph.Hits, env.LBGraph.Misses, env.LBGraph.Entries)
+	fmt.Fprintf(w, "batched simulation: %d instance(s) over %d lockstep pass(es)\n",
+		env.Batch.BatchedInstances, env.Batch.BatchJobs)
 	var failed []string
 	cancelled := 0
 	for _, e := range env.Experiments {
@@ -148,9 +161,9 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits bool) error {
 			status += " (cancelled)"
 			cancelled++
 		}
-		fmt.Fprintf(w, "  %-12s %-6s %8.1f ms  %10d steps  %d hit / %d miss  %d builds (%d hit)  %d instance jobs\n",
+		fmt.Fprintf(w, "  %-12s %-6s %8.1f ms  %10d steps  %d hit / %d miss  %d builds (%d hit)  %d instance jobs  %d batched\n",
 			e.ID, status, e.WallMS, e.SolveSteps, e.CacheHits, e.CacheMisses,
-			e.LBGraphHits+e.LBGraphMisses, e.LBGraphHits, e.InstanceJobs)
+			e.LBGraphHits+e.LBGraphMisses, e.LBGraphHits, e.InstanceJobs, e.BatchedInstances)
 		if e.Status != runner.StatusOK {
 			failed = append(failed, fmt.Sprintf("%s: %s", e.ID, e.Error))
 		}
@@ -161,11 +174,23 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits bool) error {
 	if env.Cancelled != cancelled {
 		return fmt.Errorf("benchjson: envelope claims %d cancellation(s) but flags %d", env.Cancelled, cancelled)
 	}
+	var batchJobs, batchedInstances int64
+	for _, e := range env.Experiments {
+		batchJobs += e.BatchJobs
+		batchedInstances += e.BatchedInstances
+	}
+	if env.Batch.BatchJobs != batchJobs || env.Batch.BatchedInstances != batchedInstances {
+		return fmt.Errorf("benchjson: envelope batch block %d/%d does not sum the per-experiment counters %d/%d",
+			env.Batch.BatchJobs, env.Batch.BatchedInstances, batchJobs, batchedInstances)
+	}
 	if len(failed) > 0 {
 		return fmt.Errorf("benchjson: %d experiment(s) not ok:\n  %s", len(failed), strings.Join(failed, "\n  "))
 	}
 	if requireDiskHits && env.Cache.DiskHits == 0 {
 		return fmt.Errorf("benchjson: run reported no disk-tier hits (warm cache expected)")
+	}
+	if requireBatched && env.Batch.BatchedInstances == 0 {
+		return fmt.Errorf("benchjson: run batched no simulations (batched sweep expected)")
 	}
 	return nil
 }
@@ -219,13 +244,23 @@ func compareBaselines(oldPath, newPath string, threshold, floor float64, w io.Wr
 	fmt.Fprintf(w, "%-32s %14s %14s %9s %12s %12s %9s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δ", "old B/op", "new B/op", "Δ")
 	var regressions []string
+	consumed := make(map[string]bool, len(oldNames))
 	for _, name := range oldNames {
 		oldR := oldBy[name]
 		newR, ok := newBy[name]
+		matched := name
+		if !ok {
+			// A benchmark promoted to sub-benchmarks keeps its whole-run
+			// measurement under <name>/suite; compare against that so the
+			// trajectory survives the rename.
+			matched = name + "/suite"
+			newR, ok = newBy[matched]
+		}
 		if !ok {
 			fmt.Fprintf(w, "%-32s %14.0f %14s (removed)\n", name, oldR.NsPerOp, "-")
 			continue
 		}
+		consumed[matched] = true
 		fmt.Fprintf(w, "%-32s %14.0f %14.0f %9s %12d %12d %9s\n",
 			name, oldR.NsPerOp, newR.NsPerOp, pctDelta(oldR.NsPerOp, newR.NsPerOp),
 			oldR.BytesPerOp, newR.BytesPerOp,
@@ -238,7 +273,7 @@ func compareBaselines(oldPath, newPath string, threshold, floor float64, w io.Wr
 		}
 	}
 	for _, name := range newNames {
-		if _, ok := oldBy[name]; !ok {
+		if _, ok := oldBy[name]; !ok && !consumed[name] {
 			fmt.Fprintf(w, "%-32s %14s %14.0f (new)\n", name, "-", newBy[name].NsPerOp)
 		}
 	}
@@ -254,6 +289,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	experimentsEnv := flag.String("experiments", "", "validate an experiment result envelope (cmd/experiments -json) instead of converting bench output")
 	requireDiskHits := flag.Bool("require-disk-hits", false, "with -experiments: fail unless the run served at least one solve from the disk tier")
+	requireBatched := flag.Bool("require-batched", false, "with -experiments: fail unless the run batched at least one simulation instance")
 	compare := flag.Bool("compare", false, "compare two baseline files (old.json new.json) and fail on regressions beyond -threshold")
 	threshold := flag.Float64("threshold", 0.25, "with -compare: allowed ns/op and B/op growth as a fraction (0.25 = +25%)")
 	floor := flag.Float64("floor", 0, "with -compare: exempt benchmarks whose old ns/op is below this from the ns/op gate (1-iteration timing noise; B/op still gates)")
@@ -288,7 +324,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := checkEnvelope(f, w, *requireDiskHits); err != nil {
+		if err := checkEnvelope(f, w, *requireDiskHits, *requireBatched); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

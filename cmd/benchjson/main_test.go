@@ -86,7 +86,7 @@ func TestCheckEnvelopeOK(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -108,7 +108,7 @@ func TestCheckEnvelopeFailsOnNonOK(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false)
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false)
 	if err == nil {
 		t.Fatal("failed experiment accepted")
 	}
@@ -124,11 +124,11 @@ func TestCheckEnvelopeRequireDiskHits(t *testing.T) {
 		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false); err == nil {
 		t.Fatal("cold run accepted with -require-disk-hits")
 	}
 	env.Cache.DiskHits = 3
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false); err != nil {
 		t.Fatalf("warm run rejected: %v", err)
 	}
 }
@@ -248,10 +248,10 @@ func TestCompareBaselinesBadInput(t *testing.T) {
 
 func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader("not json"), &buf, false); err == nil {
+	if err := checkEnvelope(strings.NewReader("not json"), &buf, false, false); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf, false); err == nil {
+	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf, false, false); err == nil {
 		t.Fatal("wrong schema accepted")
 	}
 	// An envelope whose summary counters disagree with its records is
@@ -261,7 +261,105 @@ func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
 		Failed:      1,
 		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false); err == nil {
 		t.Fatal("inconsistent envelope accepted")
+	}
+}
+
+// TestParseLineStripsCPUSuffix: the -<GOMAXPROCS> suffix a multi-core
+// bench run appends must not enter baseline names, and nested
+// sub-benchmark names survive intact.
+func TestParseLineStripsCPUSuffix(t *testing.T) {
+	r, ok := parseLine("BenchmarkExpScaling/n=192-8         1  412000000 ns/op  357125218 B/op  1910071 allocs/op")
+	if !ok {
+		t.Fatal("nested benchmark line rejected")
+	}
+	if r.Name != "BenchmarkExpScaling/n=192" {
+		t.Fatalf("name %q, want cpu suffix stripped", r.Name)
+	}
+	r, ok = parseLine("BenchmarkExpFigure1-16     3  35387 ns/op")
+	if !ok || r.Name != "BenchmarkExpFigure1" {
+		t.Fatalf("flat name with suffix: %+v ok=%v", r, ok)
+	}
+	// No suffix (1-core runs): name unchanged.
+	r, ok = parseLine("BenchmarkExpFigure1     3  35387 ns/op")
+	if !ok || r.Name != "BenchmarkExpFigure1" {
+		t.Fatalf("suffix-free name mangled: %+v ok=%v", r, ok)
+	}
+}
+
+// TestCompareBaselinesSuiteFallback: an old flat benchmark compares
+// against its new <name>/suite sub-benchmark after a b.Run promotion, and
+// the consumed sub-benchmark is not double-reported as new.
+func TestCompareBaselinesSuiteFallback(t *testing.T) {
+	oldPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkExpScaling", Iterations: 3, NsPerOp: 1000, BytesPerOp: 500},
+	})
+	newPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkExpScaling/n=192", Iterations: 3, NsPerOp: 600, BytesPerOp: 300},
+		{Name: "BenchmarkExpScaling/suite", Iterations: 3, NsPerOp: 900, BytesPerOp: 450},
+	})
+	var buf bytes.Buffer
+	if err := compareBaselines(oldPath, newPath, 0.25, 0, &buf); err != nil {
+		t.Fatalf("suite fallback comparison failed: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "(removed)") {
+		t.Fatalf("promoted benchmark reported removed:\n%s", out)
+	}
+	if !strings.Contains(out, "-10.0%") {
+		t.Fatalf("suite delta not computed against old flat name:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkExpScaling/n=192") || !strings.Contains(out, "(new)") {
+		t.Fatalf("per-point sub-benchmark should report as new:\n%s", out)
+	}
+	if strings.Contains(out, "BenchmarkExpScaling/suite  ") && strings.Count(out, "BenchmarkExpScaling/suite") > 1 {
+		t.Fatalf("consumed suite name double-reported:\n%s", out)
+	}
+
+	// The fallback still gates: a regressed suite fails.
+	slowPath := writeBaseline(t, []Result{
+		{Name: "BenchmarkExpScaling/suite", Iterations: 3, NsPerOp: 2000, BytesPerOp: 500},
+	})
+	if err := compareBaselines(oldPath, slowPath, 0.25, 0, &buf); err == nil {
+		t.Fatal("suite regression accepted through the fallback")
+	}
+}
+
+// TestCheckEnvelopeBatch: the batch block must sum the per-experiment
+// counters, and -require-batched fails unbatched runs.
+func TestCheckEnvelopeBatch(t *testing.T) {
+	env := runner.Envelope{
+		Schema: runner.Schema,
+		OK:     2,
+		Batch:  runner.BatchTotals{BatchJobs: 2, BatchedInstances: 7},
+		Experiments: []runner.ExperimentResult{
+			{ID: "scaling", Status: runner.StatusOK, BatchJobs: 1, BatchedInstances: 3},
+			{ID: "upperbounds", Status: runner.StatusOK, BatchJobs: 1, BatchedInstances: 4},
+		},
+	}
+	var buf bytes.Buffer
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, true); err != nil {
+		t.Fatalf("batched envelope rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "7 instance(s) over 2 lockstep pass(es)") {
+		t.Fatalf("summary missing batch line:\n%s", buf.String())
+	}
+
+	env.Batch.BatchedInstances = 6 // disagree with the records
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false); err == nil {
+		t.Fatal("inconsistent batch block accepted")
+	}
+
+	unbatched := runner.Envelope{
+		Schema:      runner.Schema,
+		OK:          1,
+		Experiments: []runner.ExperimentResult{{ID: "cutsize", Status: runner.StatusOK}},
+	}
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, true); err == nil {
+		t.Fatal("unbatched run accepted with -require-batched")
+	}
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, false); err != nil {
+		t.Fatalf("unbatched run rejected without the flag: %v", err)
 	}
 }

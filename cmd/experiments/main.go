@@ -25,7 +25,13 @@
 // whatever report sections completed plus a complete JSON envelope in
 // which every unfinished experiment is recorded with "cancelled": true.
 //
-// -json writes the structured result envelope (schema v4) — one record
+// -cpuprofile and -memprofile write pprof profiles for the run. Both are
+// written on every exit path the command controls — a clean run AND a
+// -timeout cancellation — so a run that spends its budget inside a stuck
+// sweep still yields the profile explaining where the time went. See
+// docs/performance.md for the profiling workflow.
+//
+// -json writes the structured result envelope (schema v5) — one record
 // per experiment with status, wall time, cancellation flag, instance-job
 // count, exactly-attributed solver steps, solve-cache and build-cache
 // statistics, plus run-level disk-tier and build-cache traffic — which
@@ -40,6 +46,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"congestlb"
@@ -61,9 +69,45 @@ func run(args []string, stdout io.Writer) error {
 	solverWorkers := fs.Int("solver-workers", 0, "branch-and-bound workers per exact solve (default GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "persistent solve-cache directory; re-runs serve solved graphs from disk")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration; unfinished experiments are recorded as cancelled (0 = no limit)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (written on clean exit and on -timeout)")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (written on clean exit and on -timeout)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling wraps everything below through defers, so the profiles
+	// land on every controlled exit path: a clean run, an experiment
+	// failure, and the -timeout cancellation alike (the deadline cancels
+	// the run cooperatively and run() returns normally, which is exactly
+	// what lets these defers fire).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
 	}
 
 	w := stdout

@@ -229,3 +229,42 @@ func TestExperimentsToFile(t *testing.T) {
 		t.Fatal("file report missing content")
 	}
 }
+
+// TestExperimentsProfileFlags: -cpuprofile/-memprofile write non-empty
+// pprof files on a clean run AND when -timeout cancels the run — the
+// profile of a stuck sweep is precisely the artefact the flags exist for.
+func TestExperimentsProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{"-id", "figure1", "-cpuprofile", cpu, "-memprofile", mem}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+
+	// The timeout path: the run errors, the profiles still land.
+	cpu2 := filepath.Join(dir, "cpu-timeout.pprof")
+	mem2 := filepath.Join(dir, "mem-timeout.pprof")
+	err := run([]string{"-id", "scaling,theorem5,upperbounds", "-timeout", "1ms",
+		"-cpuprofile", cpu2, "-memprofile", mem2}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("1ms timeout did not cancel the run: %v", err)
+	}
+	for _, p := range []string{cpu2, mem2} {
+		st, statErr := os.Stat(p)
+		if statErr != nil {
+			t.Fatalf("profile not written on timeout: %v", statErr)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty after timeout", p)
+		}
+	}
+}

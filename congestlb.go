@@ -149,6 +149,9 @@ type (
 	NodeInfo = congest.NodeInfo
 	// RunResult is a finished CONGEST run with stats and outputs.
 	RunResult = congest.Result
+	// BatchStats describes one lockstep batched engine pass
+	// (Lab.RunReductionBatch, congest.RunBatch).
+	BatchStats = congest.BatchStats
 )
 
 // Communication-complexity types.

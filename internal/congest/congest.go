@@ -10,10 +10,13 @@
 // Efron, Grossman and Khoury (PODC 2020).
 //
 // Node behaviour is written as a NodeProgram state machine. The engine can
-// run programs sequentially (fully deterministic) or on a persistent worker
-// pool processing contiguous node ranges (deterministic too: message
-// delivery is ordered by node ID, and per-node randomness comes from
-// per-node seeded generators).
+// run programs sequentially (fully deterministic), or on a two-stage
+// pipeline over persistent workers holding contiguous node ranges, where
+// round k+1's compute overlaps round k's delivery (deterministic too:
+// message delivery is ordered by node ID, per-node randomness comes from
+// per-node seeded generators, and a barrier protocol keeps transcripts
+// bit-identical — see pipeline.go). Many small instances can additionally
+// run through one lockstep engine pass via RunBatch (see batch.go).
 //
 // The round loop is (near-)zero-allocation: delivered payloads live in a
 // per-round byte arena reused across rounds, inbox/outbox backing arrays
@@ -28,8 +31,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"congestlb/internal/graphs"
@@ -118,9 +121,18 @@ type Config struct {
 	// Seed drives all node randomness; runs with equal seeds are
 	// identical.
 	Seed int64
-	// Parallel selects the goroutine-per-node engine. Results are
-	// bit-identical to the sequential engine; only wall-clock differs.
+	// Parallel selects the pipelined engine: node ranges are computed by
+	// a persistent worker set, and round k+1's compute overlaps round k's
+	// delivery. Results are bit-identical to the sequential engine; only
+	// wall-clock differs. The CONGESTLB_PIPELINE environment variable
+	// overrides this field for every run ("1"/"on"/"force" enables,
+	// "0"/"off" disables) — the forcing lever the determinism CI uses.
 	Parallel bool
+	// Workers caps the pipelined engine's worker count; 0 means
+	// GOMAXPROCS. The determinism suites pin 1/2/4/8 regardless of host
+	// core count. With one effective worker the sequential engine runs —
+	// the pipeline would have nothing to overlap.
+	Workers int
 	// Hook, if set, observes every delivered message.
 	Hook MessageHook
 }
@@ -204,6 +216,9 @@ type Network struct {
 	// received a message from the outbox currently being validated.
 	seen      []int64
 	seenStamp int64
+	// pipe holds the pipelined engine's state, retained across Run calls
+	// like the sequential buffers above (nil until the first pipelined run).
+	pipe *pipeline
 }
 
 // NewNetwork validates the wiring and prepares a run. programs[u] drives
@@ -290,6 +305,10 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 			n.outboxes[u] = n.outboxes[u][:0]
 		}
 	}
+
+	if workers := n.effectiveWorkers(); workers > 1 {
+		return n.runPipelined(ctx, workers, maxRounds)
+	}
 	// Fresh Networks seed their arena from the process-wide high-water
 	// mark, so the first rounds of a new run skip the grow-and-orphan
 	// doubling the previous runs already paid for. The seed is capped at
@@ -308,12 +327,6 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 	}
 	defer n.recordArenaHighWater()
 	n.arena.reset()
-
-	var pool *workerPool
-	if n.cfg.Parallel {
-		pool = newWorkerPool(n, size)
-		defer pool.stop()
-	}
 
 	for round := 1; ; round++ {
 		if ctxDone != nil {
@@ -338,11 +351,7 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 			return n.collect(stats), nil
 		}
 
-		if pool != nil {
-			pool.step(round)
-		} else {
-			n.stepRange(round, 0, size)
-		}
+		n.stepRange(round, 0, size)
 
 		// All Round calls of this round have returned, so the payloads
 		// delivered last round are dead: recycle their arena, then
@@ -356,19 +365,8 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 		for u := 0; u < size; u++ {
 			n.seenStamp++
 			for _, msg := range n.outboxes[u] {
-				if msg.From != u {
-					return Result{}, fmt.Errorf("congest: node %d forged sender %d in round %d", u, msg.From, round)
-				}
-				if !n.g.HasEdge(u, msg.To) {
-					return Result{}, fmt.Errorf("congest: node %d sent to non-neighbour %d in round %d", u, msg.To, round)
-				}
-				if n.seen[msg.To] == n.seenStamp {
-					return Result{}, fmt.Errorf("congest: node %d sent two messages to %d in round %d", u, msg.To, round)
-				}
-				n.seen[msg.To] = n.seenStamp
-				if msg.Bits() > n.bw {
-					return Result{}, fmt.Errorf("%w: %d bits > B=%d (node %d→%d, round %d)",
-						ErrBandwidthExceeded, msg.Bits(), n.bw, msg.From, msg.To, round)
+				if err := validateMsg(n.g, n.bw, u, msg, round, n.seen, n.seenStamp); err != nil {
+					return Result{}, err
 				}
 				stats.Messages++
 				stats.TotalBits += msg.Bits()
@@ -387,18 +385,87 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 	}
 }
 
-// arenaHighWater remembers the largest delivery-arena block any Run in
+// validateMsg enforces the CONGEST sending rules for one outbox message of
+// sender u in the given round: no forged sender, neighbours only, at most
+// one message per destination (seen[v] == stamp marks v as already served
+// from this outbox), and the bandwidth bound. Shared by the sequential
+// delivery loop, the pipelined engine's compute-stage validation, and the
+// batch engine, so all three report byte-identical errors.
+func validateMsg(g *graphs.Graph, bw int64, u int, msg Message, round int, seen []int64, stamp int64) error {
+	if msg.From != u {
+		return fmt.Errorf("congest: node %d forged sender %d in round %d", u, msg.From, round)
+	}
+	if !g.HasEdge(u, msg.To) {
+		return fmt.Errorf("congest: node %d sent to non-neighbour %d in round %d", u, msg.To, round)
+	}
+	if seen[msg.To] == stamp {
+		return fmt.Errorf("congest: node %d sent two messages to %d in round %d", u, msg.To, round)
+	}
+	seen[msg.To] = stamp
+	if msg.Bits() > bw {
+		return fmt.Errorf("%w: %d bits > B=%d (node %d→%d, round %d)",
+			ErrBandwidthExceeded, msg.Bits(), bw, msg.From, msg.To, round)
+	}
+	return nil
+}
+
+// effectiveWorkers resolves Config.Parallel/Workers and the
+// CONGESTLB_PIPELINE override into the engine to use: 1 means the
+// sequential loop, >1 the pipelined engine with that many workers. The
+// environment variable is read per Run (not cached) so tests can flip it
+// with t.Setenv.
+func (n *Network) effectiveWorkers() int {
+	parallel := n.cfg.Parallel
+	switch os.Getenv("CONGESTLB_PIPELINE") {
+	case "1", "on", "force":
+		parallel = true
+	case "0", "off":
+		parallel = false
+	}
+	if !parallel {
+		return 1
+	}
+	w := n.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n.g.N() {
+		w = n.g.N()
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// arenaHighWater remembers the delivery-arena block size recent Runs in
 // this process settled on. New Networks pre-size their arena from it, so a
 // fresh Network serving a workload the process has seen before reaches its
-// steady state without any doubling steps. It only ever grows, bounded by
-// the peak per-round delivery volume of the largest run so far.
+// steady state without any doubling steps.
 var arenaHighWater atomic.Int64
 
+// recordArenaHighWater folds this run's settled arena size into the
+// process-wide estimate. Growth takes effect immediately; shrinkage decays
+// — a run that settled below the stored estimate pulls it a quarter of the
+// way down. A one-off huge run (a big batch, a scaling sweep) therefore
+// stops inflating fresh Networks after a handful of small runs, instead of
+// pinning the estimate at its lifetime peak forever. Runs that delivered
+// nothing at all carry no sizing information and leave the estimate alone.
 func (n *Network) recordArenaHighWater() {
 	size := int64(len(n.arena.buf))
+	if size == 0 {
+		return
+	}
 	for {
 		cur := arenaHighWater.Load()
-		if size <= cur || arenaHighWater.CompareAndSwap(cur, size) {
+		target := size
+		if size < cur {
+			// size + 3/4 of the gap: floors to size itself once the gap
+			// closes, so the estimate converges exactly instead of
+			// stalling a few bytes high on integer division.
+			target = size + (cur-size)*3/4
+		}
+		if target == cur || arenaHighWater.CompareAndSwap(cur, target) {
 			return
 		}
 	}
@@ -419,39 +486,6 @@ func (n *Network) stepRange(round, lo, hi int) {
 			n.outboxes[u] = n.programs[u].Round(round, n.inboxes[u])
 		}
 	}
-}
-
-// workerPool runs stepRange over fixed contiguous node ranges on a set of
-// goroutines that persist for a whole Run, replacing the old
-// goroutine-per-node-per-round engine. Results are bit-identical to the
-// sequential engine: workers only fill outbox slots, and delivery is done
-// by the single-threaded round loop in sender-ID order.
-type workerPool struct {
-	round []chan int // one buffered channel per worker; closing stops it
-	wg    sync.WaitGroup
-}
-
-func newWorkerPool(n *Network, size int) *workerPool {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > size {
-		workers = size
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	bounds := splitByDegree(n.g, workers)
-	p := &workerPool{round: make([]chan int, len(bounds)-1)}
-	for w := 0; w+1 < len(bounds); w++ {
-		ch := make(chan int, 1)
-		p.round[w] = ch
-		go func(lo, hi int, ch chan int) {
-			for round := range ch {
-				n.stepRange(round, lo, hi)
-				p.wg.Done()
-			}
-		}(bounds[w], bounds[w+1], ch)
-	}
-	return p
 }
 
 // splitByDegree partitions [0, g.N()) into at most `workers` contiguous,
@@ -484,22 +518,6 @@ func splitByDegree(g *graphs.Graph, workers int) []int {
 		}
 	}
 	return append(bounds, size)
-}
-
-// step runs one round across all workers and waits for completion.
-func (p *workerPool) step(round int) {
-	p.wg.Add(len(p.round))
-	for _, ch := range p.round {
-		ch <- round
-	}
-	p.wg.Wait()
-}
-
-// stop terminates the worker goroutines.
-func (p *workerPool) stop() {
-	for _, ch := range p.round {
-		close(ch)
-	}
 }
 
 func (n *Network) collect(stats Stats) Result {

@@ -1,0 +1,361 @@
+package congest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// The pipelined engine: the round loop split into a compute stage (node
+// programs fill per-node outboxes) and a delivery stage (inbox scatter),
+// run as a two-stage pipeline over persistent workers holding fixed
+// contiguous node ranges. Step r fuses
+//
+//	deliver(r-1): scatter round r-1's validated sends into inboxes
+//	compute(r):   run round r's programs against those inboxes
+//
+// per worker — a worker first delivers into its own destination range,
+// then computes its own sender range — while the main goroutine replays
+// round r-1's messages to Config.Hook in exact sequential order,
+// overlapped with the workers. One barrier per step, so round r's compute
+// overlaps round r-1's delivery, hook accounting and everyone else's
+// scatter instead of serialising behind them.
+//
+// What keeps the transcript bit-identical to the sequential engine:
+//
+//   - Outboxes and compute arenas are double-buffered by round parity:
+//     compute(r) writes parity r%2 while deliver(r-1) and the hook pass
+//     read parity (r-1)%2, so no stage of a step reads a buffer another
+//     stage of the same step writes.
+//   - Payloads are copied into the owning worker's per-parity arena at
+//     compute time, so delivery is a pure scatter of stable slices.
+//   - A delivery worker scans all senders in ID order and picks out the
+//     messages addressed to its own destination range, so every inbox
+//     ends up in sender-ID order — exactly the sequential delivery order.
+//   - Validation runs in the compute stage, per sender; the winning error
+//     is the lowest-ranked worker's first error, which (ranges being
+//     ordered by node ID) is the first error in sender order — the one
+//     the sequential loop reports.
+//   - Hook errors of round r-1 outrank validation errors of round r,
+//     matching the sequential event order, and every abort path (hook
+//     error, context, MaxRounds, termination) first runs a delivery-only
+//     step for the last computed round so the hook transcript ends at the
+//     same message the sequential engine's would.
+//
+// Divergence from sequential exists only on already-failing runs: on a
+// validation error in round r the hook never observes round r's valid
+// prefix (the sequential loop interleaves hook calls with validation),
+// and node programs may have computed one round the sequential engine
+// would not have reached. Neither is observable through a successful
+// Result.
+
+// pipeCmd tells a worker what one step consists of.
+type pipeCmd struct {
+	// round is the step index: deliver covers round-1, compute covers
+	// round.
+	round   int
+	deliver bool
+	compute bool
+}
+
+// pipeline is the engine state retained on the Network across Runs, so
+// repeated pipelined runs (benchmark iterations) reuse outbox backing
+// arrays, arenas and stamp slabs like the sequential buffers.
+type pipeline struct {
+	n       *Network
+	workers int
+	bounds  []int // contiguous range bounds, len(bounds)-1 ranges
+	// outboxes[p][u] is node u's validated round-r outbox for r%2 == p,
+	// payloads stable in the owning worker's arena of the same parity.
+	outboxes [2][][]Message
+	arenas   [][2]byteArena // per worker, per parity compute arenas
+	seen     [][]int64      // per worker duplicate-destination marks
+	stamps   []int64        // per worker stamp counters; only ever grow
+	stats    []Stats        // per worker delivery accounting
+	errs     []error        // per worker first validation error of a step
+	ndone    []int          // per worker Done-program count after compute
+	cmds     []chan pipeCmd
+	barrier  sync.WaitGroup // per-step completion
+	exit     sync.WaitGroup // worker lifecycle
+}
+
+// pipelineFor returns the Network's retained pipeline, rebuilding it when
+// the worker count changed since the last run.
+func (n *Network) pipelineFor(workers int) *pipeline {
+	if p := n.pipe; p != nil && p.workers == workers {
+		return p
+	}
+	size := n.g.N()
+	bounds := splitByDegree(n.g, workers)
+	nw := len(bounds) - 1
+	p := &pipeline{
+		n:       n,
+		workers: workers,
+		bounds:  bounds,
+		arenas:  make([][2]byteArena, nw),
+		seen:    make([][]int64, nw),
+		stamps:  make([]int64, nw),
+		stats:   make([]Stats, nw),
+		errs:    make([]error, nw),
+		ndone:   make([]int, nw),
+	}
+	p.outboxes[0] = make([][]Message, size)
+	p.outboxes[1] = make([][]Message, size)
+	for w := range p.seen {
+		p.seen[w] = make([]int64, size)
+	}
+	n.pipe = p
+	return p
+}
+
+// runPipelined executes the run on the two-stage pipeline. Invariant on
+// entering iteration `round`: rounds 1..round-1 are computed and
+// validated, rounds 1..round-2 delivered and hooked.
+func (n *Network) runPipelined(ctx context.Context, workers, maxRounds int) (Result, error) {
+	size := n.g.N()
+	p := n.pipelineFor(workers)
+	p.reset()
+	nw := len(p.bounds) - 1
+	p.cmds = make([]chan pipeCmd, nw)
+	for w := 0; w < nw; w++ {
+		p.cmds[w] = make(chan pipeCmd, 1)
+		p.exit.Add(1)
+		go p.worker(w)
+	}
+	defer func() {
+		for _, ch := range p.cmds {
+			close(ch)
+		}
+		// Join the workers before returning: the buffers they touch are
+		// reused by the Network's next run.
+		p.exit.Wait()
+	}()
+
+	ctxDone := ctx.Done()
+	hook := n.cfg.Hook
+
+	allDone := true
+	for u := 0; u < size; u++ {
+		if !n.programs[u].Done() {
+			allDone = false
+			break
+		}
+	}
+
+	// finish delivers (and hooks) the last computed round round-1, which
+	// the fused step deferred into the step the abort pre-empted. The
+	// sequential loop delivers round r-1 before evaluating round r's
+	// checks, so every exit must too.
+	finish := func(round int) error {
+		if round < 2 {
+			return nil
+		}
+		return p.runStep(pipeCmd{round: round, deliver: true}, hook)
+	}
+
+	for round := 1; ; round++ {
+		if ctxDone != nil {
+			select {
+			case <-ctxDone:
+				if herr := finish(round); herr != nil {
+					return Result{}, herr
+				}
+				return Result{}, fmt.Errorf("congest: run cancelled in round %d: %w", round, ctx.Err())
+			default:
+			}
+		}
+		if round > maxRounds {
+			if herr := finish(round); herr != nil {
+				return Result{}, herr
+			}
+			return Result{}, fmt.Errorf("%w: %d", ErrMaxRounds, maxRounds)
+		}
+		if allDone {
+			if herr := finish(round); herr != nil {
+				return Result{}, herr
+			}
+			stats := p.mergeStats()
+			stats.Rounds = round - 1
+			return n.collect(stats), nil
+		}
+		if herr := p.runStep(pipeCmd{round: round, deliver: round > 1, compute: true}, hook); herr != nil {
+			return Result{}, herr
+		}
+		if err := p.firstError(); err != nil {
+			return Result{}, err
+		}
+		allDone = p.doneCount() == size
+	}
+}
+
+// reset recycles the retained buffers for a new run. Outbox slices keep
+// their capacity; seen marks stay valid because stamps only ever grow.
+func (p *pipeline) reset() {
+	for u := range p.outboxes[0] {
+		p.outboxes[0][u] = p.outboxes[0][u][:0]
+		p.outboxes[1][u] = p.outboxes[1][u][:0]
+	}
+	for w := range p.stats {
+		p.stats[w] = Stats{}
+		p.errs[w] = nil
+		p.ndone[w] = 0
+	}
+}
+
+// runStep dispatches one fused step to every worker, replays the
+// delivered round to the hook on this goroutine meanwhile, and waits for
+// the barrier. The returned error is the hook's (round-1's event, so it
+// outranks the step's compute-stage validation errors).
+func (p *pipeline) runStep(cmd pipeCmd, hook MessageHook) error {
+	p.barrier.Add(len(p.cmds))
+	for _, ch := range p.cmds {
+		ch <- cmd
+	}
+	var hookErr error
+	if cmd.deliver && hook != nil {
+		hookErr = p.hookPass(hook, cmd.round-1)
+	}
+	p.barrier.Wait()
+	return hookErr
+}
+
+// hookPass replays round's messages to the hook in global sender-ID order
+// — the exact sequence the sequential delivery loop produces. It reads
+// the same parity buffer the delivery workers are scattering from
+// (read-read), never the one being computed.
+func (p *pipeline) hookPass(hook MessageHook, round int) error {
+	out := p.outboxes[round&1]
+	for u := range out {
+		for _, msg := range out[u] {
+			if err := hook(round, msg); err != nil {
+				return fmt.Errorf("congest: hook: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+func (p *pipeline) worker(w int) {
+	defer p.exit.Done()
+	lo, hi := p.bounds[w], p.bounds[w+1]
+	for cmd := range p.cmds[w] {
+		if cmd.deliver {
+			p.deliverRange(w, lo, hi, cmd.round-1)
+		}
+		if cmd.compute {
+			p.computeRange(w, lo, hi, cmd.round)
+		}
+		p.barrier.Done()
+	}
+}
+
+// deliverRange scatters round's sends addressed to destinations [lo, hi)
+// into their inboxes, scanning all senders in ID order so each inbox ends
+// up sorted by sender. Payloads were arena-copied at compute time, so
+// this is header movement only.
+func (p *pipeline) deliverRange(w, lo, hi, round int) {
+	n := p.n
+	out := p.outboxes[round&1]
+	st := &p.stats[w]
+	for v := lo; v < hi; v++ {
+		n.inboxes[v] = n.inboxes[v][:0]
+	}
+	for u := range out {
+		for _, msg := range out[u] {
+			if msg.To < lo || hi <= msg.To {
+				continue
+			}
+			st.Messages++
+			bits := msg.Bits()
+			st.TotalBits += bits
+			if bits > st.MaxMessageBits {
+				st.MaxMessageBits = bits
+			}
+			n.inboxes[msg.To] = append(n.inboxes[msg.To], msg)
+		}
+	}
+}
+
+// computeRange runs round for senders [lo, hi): invokes the programs,
+// validates their outboxes (recording the worker's first error), and
+// copies payloads into this worker's arena of the round's parity so the
+// next step's delivery and hook stages read stable data while the
+// programs already compute the round after.
+func (p *pipeline) computeRange(w, lo, hi, round int) {
+	n := p.n
+	arena := &p.arenas[w][round&1]
+	arena.reset()
+	out := p.outboxes[round&1]
+	seen := p.seen[w]
+	done := 0
+	var firstErr error
+	for u := lo; u < hi; u++ {
+		prog := n.programs[u]
+		if prog.Done() {
+			out[u] = out[u][:0]
+			done++
+			continue
+		}
+		var msgs []Message
+		if bp := n.buffered[u]; bp != nil {
+			msgs = bp.AppendRound(round, n.inboxes[u], out[u][:0])
+		} else {
+			msgs = prog.Round(round, n.inboxes[u])
+		}
+		if firstErr == nil {
+			p.stamps[w]++
+			stamp := p.stamps[w]
+			for i := range msgs {
+				if err := validateMsg(n.g, n.bw, u, msgs[i], round, seen, stamp); err != nil {
+					firstErr = err
+					break
+				}
+			}
+		}
+		if firstErr == nil {
+			for i := range msgs {
+				msgs[i].Data = arena.copy(msgs[i].Data)
+			}
+			out[u] = msgs
+		} else {
+			out[u] = out[u][:0]
+		}
+		if prog.Done() {
+			done++
+		}
+	}
+	p.errs[w] = firstErr
+	p.ndone[w] = done
+}
+
+// firstError returns the step's winning validation error: the first
+// worker's (lowest node range, hence first in sender order), like the
+// sequential loop's early return.
+func (p *pipeline) firstError() error {
+	for _, err := range p.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *pipeline) doneCount() int {
+	total := 0
+	for _, d := range p.ndone {
+		total += d
+	}
+	return total
+}
+
+func (p *pipeline) mergeStats() Stats {
+	var s Stats
+	for _, st := range p.stats {
+		s.Messages += st.Messages
+		s.TotalBits += st.TotalBits
+		if st.MaxMessageBits > s.MaxMessageBits {
+			s.MaxMessageBits = st.MaxMessageBits
+		}
+	}
+	return s
+}

@@ -39,6 +39,43 @@ func TestTracerCollectsPerRoundStats(t *testing.T) {
 	}
 }
 
+// TestTracerPipelinedEngine pins the Tracer contract under the pipelined
+// engine: hooks run on the engine's own goroutine in the sequential
+// delivery order, so an unlocked Tracer observes the identical per-round
+// trace at any worker count.
+func TestTracerPipelinedEngine(t *testing.T) {
+	var ref Tracer
+	net, err := NewNetwork(ring(t, 16), floodPrograms(16), Config{Seed: 21, Hook: ref.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Rounds()
+
+	for _, workers := range []int{2, 4, 8} {
+		var tr Tracer
+		net, err := NewNetwork(ring(t, 16), floodPrograms(16),
+			Config{Seed: 21, Parallel: true, Workers: workers, Hook: tr.Hook()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := tr.Rounds()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d traced rounds, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d round %d: %+v, want %+v", workers, want[i].Round, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestTracerZeroValue(t *testing.T) {
 	var tr Tracer
 	if peak := tr.PeakRound(); peak.Bits != 0 || peak.Round != 0 {

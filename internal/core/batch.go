@@ -1,0 +1,132 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/cc"
+	"congestlb/internal/congest"
+)
+
+// BatchSim is one Theorem 5 simulation of a batched sweep: a pre-built
+// instance plus the algorithm and extraction that SimulateBuiltCtx would
+// apply to it. Instances of one sweep typically share a *graphs.Graph
+// (the same built instance run under several algorithms), which the batch
+// engine detects and shares instead of duplicating.
+type BatchSim struct {
+	Fam     Family
+	In      bitvec.Inputs
+	Inst    Instance
+	Factory ProgramFactory
+	Extract OptExtractor
+	Cfg     congest.Config
+}
+
+// SimulateBatch runs every simulation through one congest.RunBatch
+// lockstep pass and returns per-sim reports and errors (reports[i] is
+// meaningful iff errs[i] is nil), plus the engine's batch statistics.
+//
+// Each report is field-for-field identical to what SimulateBuiltCtx would
+// return for the same sim, with one exception: SolveCacheHits/Misses stay
+// zero. The shared solve cache's counter deltas cannot be attributed to
+// one instance of an interleaved lockstep pass; callers that need
+// attribution take the delta across the whole batch (the experiment
+// runner books it per batch job) or route solves through a private
+// session cache as congestlb.Lab does.
+func SimulateBatch(ctx context.Context, sims []BatchSim) ([]SimulationReport, []error, congest.BatchStats) {
+	reports := make([]SimulationReport, len(sims))
+	errs := make([]error, len(sims))
+
+	// Per-sim pre-work mirroring SimulateBuiltCtx: truth evaluation,
+	// blackboard pre-sized from the process high-water mark, the
+	// cut-routing hook. Sims that fail pre-work never enter the engine.
+	type prep struct {
+		board  cc.Blackboard
+		writes int64
+		truth  bool
+	}
+	preps := make([]*prep, len(sims))
+	items := make([]congest.BatchItem, 0, len(sims))
+	itemSim := make([]int, 0, len(sims)) // engine item -> sim index
+	for i := range sims {
+		s := &sims[i]
+		truth, err := s.In.PromisePairwiseDisjointness()
+		if err != nil {
+			errs[i] = fmt.Errorf("core: inputs: %w", err)
+			continue
+		}
+		p := &prep{truth: truth}
+		p.board.Grow(int(boardHWEntries.Load()), int(boardHWPayload.Load()))
+		preps[i] = p
+
+		part := s.Inst.Partition
+		userHook := s.Cfg.Hook
+		cfg := s.Cfg
+		cfg.Hook = func(round int, msg congest.Message) error {
+			if part.Of(msg.From) != part.Of(msg.To) {
+				tag := cc.Tag{Round: round, From: msg.From, To: msg.To}
+				if err := p.board.WriteTagged(part.Of(msg.From), tag, msg.Data, msg.Bits()); err != nil {
+					return err
+				}
+				p.writes++
+			}
+			if userHook != nil {
+				return userHook(round, msg)
+			}
+			return nil
+		}
+		items = append(items, congest.BatchItem{
+			Graph:    s.Inst.Graph,
+			Programs: s.Factory(s.Inst),
+			Config:   cfg,
+		})
+		itemSim = append(itemSim, i)
+	}
+
+	results, runErrs, bstats := congest.RunBatch(ctx, items)
+
+	for k, i := range itemSim {
+		if runErrs[k] != nil {
+			errs[i] = fmt.Errorf("core: run: %w", runErrs[k])
+			continue
+		}
+		s := &sims[i]
+		p := preps[i]
+		opt, err := s.Extract(results[k], s.Inst)
+		if err != nil {
+			errs[i] = fmt.Errorf("core: extract: %w", err)
+			continue
+		}
+		decision, err := s.Fam.Gap().Decide(opt)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		storeMax(&boardHWEntries, int64(p.board.Len()))
+		storeMax(&boardHWPayload, int64(p.board.PayloadBytes()))
+
+		g := s.Inst.Graph
+		bw := s.Cfg.BandwidthBits
+		if bw == 0 {
+			bw = congest.DefaultBandwidth(g.N())
+		}
+		cut := s.Inst.Partition.CutSize(g)
+		reports[i] = SimulationReport{
+			Family:           s.Fam.Name(),
+			Players:          s.Fam.Players(),
+			N:                g.N(),
+			CutSize:          cut,
+			Bandwidth:        bw,
+			Rounds:           results[k].Stats.Rounds,
+			BlackboardBits:   p.board.Bits(),
+			BlackboardWrites: p.writes,
+			CongestTotalBits: results[k].Stats.TotalBits,
+			AccountingBound:  int64(results[k].Stats.Rounds) * int64(cut) * bw,
+			Opt:              opt,
+			Decision:         decision,
+			Truth:            p.truth,
+		}
+	}
+	return reports, errs, bstats
+}

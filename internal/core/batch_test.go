@@ -1,0 +1,109 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/congest"
+	"congestlb/internal/core"
+)
+
+// TestSimulateBatchMatchesSolo pins the batch contract at the reduction
+// layer: every report of a SimulateBatch pass is field-for-field the
+// report SimulateBuiltCtx produces for the same sim (solve-cache
+// attribution aside, which batching documents as unattributed), and the
+// engine stats reflect the shared built instance.
+func TestSimulateBatchMatchesSolo(t *testing.T) {
+	l := mustLinear(t)
+	rng := rand.New(rand.NewSource(17))
+	k := testParams.K()
+
+	inter, _, err := bitvec.RandomUniquelyIntersecting(k, testParams.T, bitvec.GenOptions{Density: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis, err := bitvec.RandomPairwiseDisjoint(k, testParams.T, bitvec.GenOptions{Density: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	interInst, err := l.Build(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disInst, err := l.Build(dis)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same built intersecting instance twice (graph shared by
+	// pointer) plus the disjoint one.
+	sims := []core.BatchSim{
+		{Fam: l, In: inter, Inst: interInst, Factory: core.GossipPrograms, Extract: core.GossipOpt, Cfg: congest.Config{Seed: 2}},
+		{Fam: l, In: dis, Inst: disInst, Factory: core.GossipPrograms, Extract: core.GossipOpt, Cfg: congest.Config{Seed: 2}},
+		{Fam: l, In: inter, Inst: interInst, Factory: core.GossipPrograms, Extract: core.GossipOpt, Cfg: congest.Config{Seed: 9}},
+	}
+
+	want := make([]core.SimulationReport, len(sims))
+	for i, s := range sims {
+		rep, err := core.SimulateBuilt(s.Fam, s.In, s.Inst, s.Factory, s.Extract, s.Cfg)
+		if err != nil {
+			t.Fatalf("sim %d solo: %v", i, err)
+		}
+		// Batch reports document solve-cache attribution as zero.
+		rep.SolveCacheHits, rep.SolveCacheMisses = 0, 0
+		want[i] = rep
+	}
+
+	reports, errs, stats := core.SimulateBatch(context.Background(), sims)
+	for i := range sims {
+		if errs[i] != nil {
+			t.Fatalf("sim %d: %v", i, errs[i])
+		}
+		if reports[i] != want[i] {
+			t.Fatalf("sim %d diverged:\nbatch %+v\nsolo  %+v", i, reports[i], want[i])
+		}
+	}
+	if stats.Instances != 3 || stats.SharedGraphs != 1 {
+		t.Fatalf("batch stats %+v: want 3 instances, 1 shared graph", stats)
+	}
+	if stats.TotalRounds == 0 || stats.EngineRounds == 0 {
+		t.Fatalf("batch stats %+v: rounds not recorded", stats)
+	}
+}
+
+// TestSimulateBatchPerSimErrors: a sim with invalid inputs fails alone
+// while the rest of the batch completes.
+func TestSimulateBatchPerSimErrors(t *testing.T) {
+	l := mustLinear(t)
+	rng := rand.New(rand.NewSource(19))
+	k := testParams.K()
+	in, _, err := bitvec.RandomUniquelyIntersecting(k, testParams.T, bitvec.GenOptions{Density: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := l.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bitvec.Inputs{bitvec.New(k), bitvec.New(k + 1)}
+	sims := []core.BatchSim{
+		{Fam: l, In: bad, Inst: inst, Factory: core.GossipPrograms, Extract: core.GossipOpt, Cfg: congest.Config{}},
+		{Fam: l, In: in, Inst: inst, Factory: core.GossipPrograms, Extract: core.GossipOpt, Cfg: congest.Config{}},
+	}
+	reports, errs, stats := core.SimulateBatch(context.Background(), sims)
+	if errs[0] == nil {
+		t.Fatal("mismatched inputs accepted")
+	}
+	if errs[1] != nil {
+		t.Fatalf("healthy sim failed: %v", errs[1])
+	}
+	if !reports[1].Correct() || !reports[1].AccountingHolds() {
+		t.Fatalf("healthy sim report degenerate: %+v", reports[1])
+	}
+	if stats.Instances != 1 {
+		t.Fatalf("stats %+v: the failed sim never entered the engine", stats)
+	}
+}

@@ -6,6 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"congestlb/internal/bitvec"
+	"congestlb/internal/congest"
+	"congestlb/internal/core"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis/cache"
 )
@@ -221,6 +224,11 @@ type Ctx struct {
 	sched   *Scheduler
 	pending []*instanceJob
 	jobs    int64
+	// batchJobs/batchedInstances count the lockstep batch passes this run
+	// submitted (through GoBatch or NoteBatch) and the simulation
+	// instances they carried — the envelope's batch accounting.
+	batchJobs        int64
+	batchedInstances int64
 	// ctx is the run's cancellation signal (WithContext; nil = Background).
 	// Go-submitted jobs check it before running, so on cancellation the
 	// queued backlog drains as cancelled instead of executing; experiments
@@ -340,3 +348,115 @@ func (w *Ctx) Gather() error {
 // InstanceJobs reports how many jobs Go has submitted over the context's
 // lifetime — the per-instance count the runner records in the envelope.
 func (w *Ctx) InstanceJobs() int64 { return w.jobs }
+
+// BatchJobs and BatchedInstances report the batched-simulation accounting
+// over the context's lifetime: how many lockstep batch passes ran and how
+// many simulation instances rode them instead of occupying a pool job
+// each.
+func (w *Ctx) BatchJobs() int64        { return w.batchJobs }
+func (w *Ctx) BatchedInstances() int64 { return w.batchedInstances }
+
+// NoteBatch records one congest.RunBatch pass of the given instance count
+// run directly by the experiment body (outside GoBatch), so the envelope
+// accounting covers hand-rolled batches too. Experiment-goroutine-only,
+// like Go.
+func (w *Ctx) NoteBatch(instances int) {
+	w.batchJobs++
+	w.batchedInstances += int64(instances)
+}
+
+// BatchPoint is one sweep point of a batched simulation sweep: the family
+// and inputs, a Build callback producing the (cached) instance, the
+// algorithm, and the slot the report lands in. Points of one sweep that
+// Build the same underlying instance share its graph inside the engine by
+// pointer identity.
+type BatchPoint struct {
+	Fam     core.Family
+	In      bitvec.Inputs
+	Build   func() (core.Instance, error)
+	Factory core.ProgramFactory
+	Extract core.OptExtractor
+	Cfg     congest.Config
+	Report  *core.SimulationReport
+}
+
+// GoBatch submits a sweep of simulation points, fusing them into one
+// core.SimulateBatch lockstep pass per call instead of one pool job per
+// point — the batched counterpart of a w.Go-per-point loop. Points whose
+// Cfg.Parallel is set opt out of the fusion: a point big enough for the
+// pipelined engine wants a dedicated job, not a lockstep slot, so it is
+// submitted as its own Go job in position. The fused job is submitted at
+// the first batched point's position, which keeps Gather's
+// earliest-error contract exact for the sweep shapes the experiments use
+// (parallel points, if any, after the batched ones); within the fused job
+// the earliest point's error wins, matching a sequential point loop.
+//
+// Like Go, GoBatch is experiment-goroutine-only and the points' Build
+// callbacks and Report slots must not be shared with other jobs.
+func (w *Ctx) GoBatch(points []BatchPoint) {
+	batched := make([]BatchPoint, 0, len(points))
+	for _, pt := range points {
+		if !pt.Cfg.Parallel {
+			batched = append(batched, pt)
+		}
+	}
+	first := true
+	for _, pt := range points {
+		if pt.Cfg.Parallel {
+			pt := pt
+			w.Go(func() error {
+				inst, err := pt.Build()
+				if err != nil {
+					return err
+				}
+				rep, err := core.SimulateBuiltCtx(w.Context(), pt.Fam, pt.In, inst, pt.Factory, pt.Extract, pt.Cfg)
+				if err != nil {
+					return err
+				}
+				if pt.Report != nil {
+					*pt.Report = rep
+				}
+				return nil
+			})
+			continue
+		}
+		if !first {
+			continue
+		}
+		first = false
+		w.NoteBatch(len(batched))
+		w.Go(func() error {
+			pointErrs := make([]error, len(batched))
+			sims := make([]core.BatchSim, 0, len(batched))
+			simPoint := make([]int, 0, len(batched))
+			for bi, pt := range batched {
+				inst, err := pt.Build()
+				if err != nil {
+					pointErrs[bi] = err
+					continue
+				}
+				sims = append(sims, core.BatchSim{
+					Fam: pt.Fam, In: pt.In, Inst: inst,
+					Factory: pt.Factory, Extract: pt.Extract, Cfg: pt.Cfg,
+				})
+				simPoint = append(simPoint, bi)
+			}
+			reports, errs, _ := core.SimulateBatch(w.Context(), sims)
+			for k, bi := range simPoint {
+				if errs[k] != nil {
+					pointErrs[bi] = errs[k]
+					continue
+				}
+				if batched[bi].Report != nil {
+					*batched[bi].Report = reports[k]
+				}
+			}
+			for _, err := range pointErrs {
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}

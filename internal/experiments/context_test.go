@@ -4,8 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"testing"
+
+	"congestlb/internal/bitvec"
+	"congestlb/internal/congest"
+	"congestlb/internal/core"
+	"congestlb/internal/lbgraph"
 )
 
 // TestCtxGoInlineMatchesScheduled pins the two execution modes to the
@@ -197,5 +203,122 @@ func TestCtxGatherReusable(t *testing.T) {
 	}
 	if w.InstanceJobs() != 2 {
 		t.Fatalf("InstanceJobs = %d, want 2", w.InstanceJobs())
+	}
+}
+
+// TestCtxGoBatchMatchesPerPointJobs pins the batched submission path: a
+// GoBatch sweep produces the same reports a w.Go-per-point loop would,
+// fuses the non-parallel points into one pool job, and books the batch
+// accounting.
+func TestCtxGoBatchMatchesPerPointJobs(t *testing.T) {
+	p := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
+	l, err := lbgraph.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	inputs := make([]bitvec.Inputs, 3)
+	for i := range inputs {
+		if inputs[i], _, err = bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.3}, rng); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	solo := make([]core.SimulationReport, len(inputs))
+	w := NewCtx(nil, nil)
+	for i, in := range inputs {
+		inst, err := l.BuildWith(w.Builds, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.SimulateBuilt(l, in, inst, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.SolveCacheHits, rep.SolveCacheMisses = 0, 0
+		solo[i] = rep
+	}
+
+	for _, workers := range []int{0, 1, 2} {
+		var sched *Scheduler
+		if workers > 0 {
+			sched = NewScheduler(workers)
+		}
+		w := NewCtx(nil, nil).WithScheduler(sched)
+		reports := make([]core.SimulationReport, len(inputs))
+		points := make([]BatchPoint, len(inputs))
+		for i, in := range inputs {
+			in := in
+			cfg := congest.Config{Seed: 11}
+			if i == len(inputs)-1 {
+				cfg.Parallel = true // opts out of the fusion as its own job
+			}
+			points[i] = BatchPoint{
+				Fam: l, In: in,
+				Build:   func() (core.Instance, error) { return l.BuildWith(w.Builds, in) },
+				Factory: core.CollectProgramsWith(w.Solve),
+				Extract: core.WitnessOpt,
+				Cfg:     cfg,
+				Report:  &reports[i],
+			}
+		}
+		w.GoBatch(points)
+		if err := w.Gather(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sched != nil {
+			sched.Close()
+		}
+		for i := range inputs {
+			got := reports[i]
+			if i < len(inputs)-1 {
+				// Batched points leave solve-cache attribution zero.
+				if got != solo[i] {
+					t.Fatalf("workers=%d point %d diverged:\nbatch %+v\nsolo  %+v", workers, i, got, solo[i])
+				}
+			} else {
+				got.SolveCacheHits, got.SolveCacheMisses = 0, 0
+				if got != solo[i] {
+					t.Fatalf("workers=%d parallel point diverged:\nbatch %+v\nsolo  %+v", workers, got, solo[i])
+				}
+			}
+		}
+		// One fused job for the two batched points plus one parallel job.
+		if w.InstanceJobs() != 2 {
+			t.Fatalf("workers=%d: %d instance jobs, want 2", workers, w.InstanceJobs())
+		}
+		if w.BatchJobs() != 1 || w.BatchedInstances() != 2 {
+			t.Fatalf("workers=%d: batch accounting %d jobs / %d instances, want 1/2",
+				workers, w.BatchJobs(), w.BatchedInstances())
+		}
+	}
+}
+
+// TestCtxGoBatchEarliestError: the fused job reports the earliest
+// point's error, matching a sequential point loop.
+func TestCtxGoBatchEarliestError(t *testing.T) {
+	p := lbgraph.Params{T: 2, Alpha: 1, Ell: 3}
+	l, err := lbgraph.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(67))
+	in, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewCtx(nil, nil)
+	good := func() (core.Instance, error) { return l.BuildWith(w.Builds, in) }
+	w.GoBatch([]BatchPoint{
+		{Fam: l, In: in, Build: good, Factory: core.CollectProgramsWith(w.Solve), Extract: core.WitnessOpt},
+		{Fam: l, In: in, Build: func() (core.Instance, error) {
+			return core.Instance{}, errors.New("build of point 1 failed")
+		}, Factory: core.CollectProgramsWith(w.Solve), Extract: core.WitnessOpt},
+		{Fam: l, In: in, Build: func() (core.Instance, error) {
+			return core.Instance{}, errors.New("build of point 2 failed")
+		}, Factory: core.CollectProgramsWith(w.Solve), Extract: core.WitnessOpt},
+	})
+	if err := w.Gather(); err == nil || err.Error() != "build of point 1 failed" {
+		t.Fatalf("Gather returned %v, want the earliest point's error", err)
 	}
 }

@@ -24,44 +24,97 @@ func init() {
 	})
 }
 
-func runScaling(w *Ctx) error {
-	var c check
-	rng := rand.New(rand.NewSource(73))
-	tab := newTable("params", "n", "k", "∣cut∣", "rounds T", "blackboard bits", "bound T·∣cut∣·B", "utilisation")
-	params := []lbgraph.Params{
+// ScalingPoints returns the sweep's parameterisations in sweep order —
+// the axis the per-point benchmarks iterate.
+func ScalingPoints() []lbgraph.Params {
+	return []lbgraph.Params{
 		{T: 2, Alpha: 1, Ell: 3}, // n=48,  k=4
 		{T: 3, Alpha: 1, Ell: 4}, // n=90,  k=5
 		{T: 4, Alpha: 1, Ell: 5}, // n=192, k=6
 	}
-	// Each sweep point is one instance job: inputs are drawn sequentially
-	// (the RNG stream must match the sequential run), the build and the
-	// full CONGEST simulation run on the pool, and the rows flush in sweep
-	// order after Gather.
+}
+
+// scalingInputs draws point i's inputs off the sweep RNG. The stream is
+// shared across the sweep, so drawing point i requires having drawn
+// 0..i-1 first.
+func scalingInputs(p lbgraph.Params, rng *rand.Rand) (bitvec.Inputs, error) {
+	in, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
+	return in, err
+}
+
+// scalingConfig is point i's engine configuration: the shared seed, with
+// the pipelined engine requested on the largest point — the only one big
+// enough to amortise worker dispatch — which also routes it around the
+// lockstep batch as a dedicated job.
+func scalingConfig(i, total int) congest.Config {
+	cfg := congest.Config{Seed: 11}
+	if i == total-1 {
+		cfg.Parallel = true
+	}
+	return cfg
+}
+
+// RunScalingPoint runs sweep point i alone — build plus full Theorem 5
+// simulation with the exact inputs, seed and engine configuration the
+// experiment uses — by replaying the sweep RNG up to the point. This is
+// the unit the per-point scaling benchmarks measure.
+func RunScalingPoint(w *Ctx, i int) (core.SimulationReport, error) {
+	points := ScalingPoints()
+	if i < 0 || i >= len(points) {
+		return core.SimulationReport{}, fmt.Errorf("experiments: scaling point %d of %d", i, len(points))
+	}
+	rng := rand.New(rand.NewSource(73))
+	var in bitvec.Inputs
+	for j := 0; j <= i; j++ {
+		var err error
+		if in, err = scalingInputs(points[j], rng); err != nil {
+			return core.SimulationReport{}, err
+		}
+	}
+	p := points[i]
+	l, err := lbgraph.NewLinear(p)
+	if err != nil {
+		return core.SimulationReport{}, err
+	}
+	inst, err := l.BuildWith(w.Builds, in)
+	if err != nil {
+		return core.SimulationReport{}, err
+	}
+	return core.SimulateBuiltCtx(w.Context(), l, in, inst, core.CollectProgramsWith(w.Solve), core.WitnessOpt, scalingConfig(i, len(points)))
+}
+
+func runScaling(w *Ctx) error {
+	var c check
+	rng := rand.New(rand.NewSource(73))
+	tab := newTable("params", "n", "k", "∣cut∣", "rounds T", "blackboard bits", "bound T·∣cut∣·B", "utilisation")
+	params := ScalingPoints()
+	// Inputs are drawn sequentially (the RNG stream must match the
+	// sequential run); the sweep itself is one batched GoBatch call: the
+	// small points run the lockstep batch engine in a single pool job, the
+	// largest point opts into the pipelined engine as its own job
+	// (scalingConfig). CollectSolve keeps the sweep fast: its traffic
+	// rides the BFS tree instead of flooding every edge.
 	reports := make([]core.SimulationReport, len(params))
+	points := make([]BatchPoint, len(params))
 	for i, p := range params {
 		l, err := lbgraph.NewLinear(p)
 		if err != nil {
 			return err
 		}
-		in, _, err := bitvec.RandomUniquelyIntersecting(p.K(), p.T, bitvec.GenOptions{Density: 0.3}, rng)
+		in, err := scalingInputs(p, rng)
 		if err != nil {
 			return err
 		}
-		w.Go(func() error {
-			inst, err := l.BuildWith(w.Builds, in)
-			if err != nil {
-				return err
-			}
-			// CollectSolve keeps the sweep fast: its traffic rides the
-			// BFS tree instead of flooding every edge.
-			report, err := core.SimulateBuiltCtx(w.Context(), l, in, inst, core.CollectProgramsWith(w.Solve), core.WitnessOpt, congest.Config{Seed: 11})
-			if err != nil {
-				return err
-			}
-			reports[i] = report
-			return nil
-		})
+		points[i] = BatchPoint{
+			Fam: l, In: in,
+			Build:   func() (core.Instance, error) { return l.BuildWith(w.Builds, in) },
+			Factory: core.CollectProgramsWith(w.Solve),
+			Extract: core.WitnessOpt,
+			Cfg:     scalingConfig(i, len(params)),
+			Report:  &reports[i],
+		}
 	}
+	w.GoBatch(points)
 	if err := w.Gather(); err != nil {
 		return err
 	}

@@ -73,6 +73,37 @@ func TestGoldenReportDeterminism(t *testing.T) {
 	}
 }
 
+// TestGoldenReportDeterminismPipelined re-runs the determinism contract
+// with the pipelined CONGEST engine forced on for every simulation
+// (CONGESTLB_PIPELINE=force overrides Config.Parallel), so the suite
+// pins that pipelining — like sharding — is never observable in the
+// markdown: the baseline here is the plain sequential-engine Jobs:1
+// report, and pipelined runs at every jobs count must reproduce it byte
+// for byte. CI runs this under -race with multiple cores, where the
+// pipeline actually spins up workers.
+func TestGoldenReportDeterminismPipelined(t *testing.T) {
+	fast, heavy := goldenPartition()
+	exps := fast
+	if !testing.Short() {
+		exps = append(append([]experiments.Experiment{}, fast...), heavy...)
+	}
+	var golden bytes.Buffer
+	if _, err := Run(exps, Options{Jobs: 1}, &golden); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("CONGESTLB_PIPELINE", "force")
+	for _, jobs := range []int{1, 2, 4} {
+		var piped bytes.Buffer
+		if _, err := Run(exps, Options{Jobs: jobs}, &piped); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(golden.Bytes(), piped.Bytes()) {
+			t.Fatalf("pipelined report at -jobs %d differs from sequential-engine run:\n%s",
+				jobs, firstDiff(golden.Bytes(), piped.Bytes()))
+		}
+	}
+}
+
 // TestGoldenReportMatchesRunAll pins the Jobs:1 golden baseline itself to
 // the legacy sequential aggregator, closing the chain
 // RunAll == Run(Jobs:1) == Run(Jobs:N).

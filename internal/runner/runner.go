@@ -57,7 +57,11 @@ import (
 // context fired (cmd/experiments -timeout), and Options can pin the run to
 // caller-owned caches and a caller-owned scheduler (the congestlb.Lab
 // isolation seam) instead of the process-wide shared ones.
-const Schema = "congestlb/experiment-envelope/v4"
+// v5: batched-simulation accounting — per-experiment batch_jobs /
+// batched_instances count the lockstep congest.RunBatch passes the
+// experiment submitted and the simulation instances they carried, and the
+// run-level batch block sums them.
+const Schema = "congestlb/experiment-envelope/v5"
 
 // Experiment statuses in the envelope.
 const (
@@ -129,6 +133,20 @@ type ExperimentResult struct {
 	// lbgraph.CacheSession.
 	LBGraphHits   uint64 `json:"lbgraph_hits"`
 	LBGraphMisses uint64 `json:"lbgraph_misses"`
+	// BatchJobs counts the lockstep batch passes (Ctx.GoBatch fusions and
+	// direct congest.RunBatch calls the experiment noted) and
+	// BatchedInstances the simulation instances that rode them instead of
+	// occupying one pool job each. InstanceJobs counts a whole batch pass
+	// as one job, so BatchedInstances - BatchJobs is the submission work
+	// batching removed.
+	BatchJobs        int64 `json:"batch_jobs"`
+	BatchedInstances int64 `json:"batched_instances"`
+}
+
+// BatchTotals is the run-level sum of the per-experiment batch accounting.
+type BatchTotals struct {
+	BatchJobs        int64 `json:"batch_jobs"`
+	BatchedInstances int64 `json:"batched_instances"`
 }
 
 // Envelope is the structured result of one runner invocation.
@@ -156,6 +174,8 @@ type Envelope struct {
 	// LBGraph reports the shared lower-bound-graph build cache's traffic
 	// across the run, with the same delta/occupancy convention as Cache.
 	LBGraph lbgraph.CacheStats `json:"lbgraph_cache"`
+	// Batch sums the per-experiment batched-simulation accounting.
+	Batch BatchTotals `json:"batch"`
 	// Experiments holds one record per experiment, in report order.
 	Experiments []ExperimentResult `json:"experiments"`
 }
@@ -296,6 +316,8 @@ func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w 
 	for _, r := range env.Experiments {
 		env.LBGraph.Hits += r.LBGraphHits
 		env.LBGraph.Misses += r.LBGraphMisses
+		env.Batch.BatchJobs += r.BatchJobs
+		env.Batch.BatchedInstances += r.BatchedInstances
 	}
 	if statsBuild != nil {
 		buildAfter := statsBuild.Stats()
@@ -374,6 +396,8 @@ func runOne(ctx context.Context, e experiments.Experiment, sched *experiments.Sc
 	res.LBGraphHits = bst.Hits
 	res.LBGraphMisses = bst.Misses
 	res.InstanceJobs = ectx.InstanceJobs()
+	res.BatchJobs = ectx.BatchJobs()
+	res.BatchedInstances = ectx.BatchedInstances()
 	if err != nil {
 		res.Status = StatusFailed
 		res.Error = err.Error()

@@ -246,3 +246,36 @@ func TestRunEmptyList(t *testing.T) {
 		t.Fatalf("empty run envelope %+v", env)
 	}
 }
+
+// TestEnvelopeBatchAccounting: experiments that batch their sweeps
+// (upperbounds through NoteBatch, scaling/theorem5 through GoBatch)
+// record per-experiment batch counters, and the run-level Batch block is
+// exactly their sum.
+func TestEnvelopeBatchAccounting(t *testing.T) {
+	exps, err := experiments.Select([]string{"upperbounds", "cutsize"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := Run(exps, Options{Jobs: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs, instances int64
+	byID := map[string]ExperimentResult{}
+	for _, r := range env.Experiments {
+		jobs += r.BatchJobs
+		instances += r.BatchedInstances
+		byID[r.ID] = r
+	}
+	if env.Batch.BatchJobs != jobs || env.Batch.BatchedInstances != instances {
+		t.Fatalf("run-level batch %+v is not the per-experiment sum %d/%d", env.Batch, jobs, instances)
+	}
+	// upperbounds fuses its four algorithm runs into one lockstep pass.
+	if r := byID["upperbounds"]; r.BatchJobs != 1 || r.BatchedInstances != 4 {
+		t.Fatalf("upperbounds batch accounting %d jobs / %d instances, want 1/4", r.BatchJobs, r.BatchedInstances)
+	}
+	// cutsize has no simulations to batch.
+	if r := byID["cutsize"]; r.BatchJobs != 0 || r.BatchedInstances != 0 {
+		t.Fatalf("cutsize batch accounting %d/%d, want 0/0", r.BatchJobs, r.BatchedInstances)
+	}
+}

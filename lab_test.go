@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
@@ -452,5 +453,92 @@ func TestLabBuildCacheToggle(t *testing.T) {
 	}
 	if st := lab.BuildCacheStats(); st.Entries == 0 {
 		t.Fatalf("re-enabled build cache cached nothing: %+v", st)
+	}
+}
+
+// TestLabRunReductionBatchMatchesSolo: RunReductionBatch over a sweep of
+// inputs reproduces per-input RunReduction field for field — modulo the
+// documented per-report solve-cache counters, which the batch leaves
+// zero because lockstep interleaving makes them unattributable. The
+// traffic must still book against the Lab as a whole.
+func TestLabRunReductionBatchMatchesSolo(t *testing.T) {
+	p := congestlb.Params{T: 2, Alpha: 1, Ell: 3}
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(53))
+	ins := make([]congestlb.Inputs, 3)
+	for i := range ins {
+		in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins[i] = in
+	}
+	// A repeated input: same build, so its report must be byte-identical
+	// to the first occurrence's.
+	ins = append(ins, ins[0])
+	cfg := congestlb.CongestConfig{Seed: 7}
+
+	soloLab := newTestLab(t)
+	want := make([]congestlb.SimulationReport, len(ins))
+	for i, in := range ins {
+		r, err := soloLab.RunReduction(context.Background(), fam, in, cfg)
+		if err != nil {
+			t.Fatalf("solo run %d: %v", i, err)
+		}
+		r.SolveCacheHits, r.SolveCacheMisses = 0, 0
+		want[i] = r
+	}
+
+	batchLab := newTestLab(t)
+	got, errs, stats := batchLab.RunReductionBatch(context.Background(), fam, ins, cfg)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("batch item %d: %v", i, err)
+		}
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("report %d diverged:\n batch %+v\n solo  %+v", i, got[i], want[i])
+		}
+	}
+	if stats.Instances != len(ins) {
+		t.Errorf("stats.Instances = %d, want %d", stats.Instances, len(ins))
+	}
+	// The Lab's build cache hands every caller a private deep copy, so
+	// even the repeated input does not share adjacency inside the batch.
+	if stats.SharedGraphs != 0 {
+		t.Errorf("stats.SharedGraphs = %d, want 0 (build cache deep-copies)", stats.SharedGraphs)
+	}
+	if stats.EngineRounds == 0 || stats.TotalRounds < int64(stats.EngineRounds) {
+		t.Errorf("implausible round stats %+v", stats)
+	}
+	if st := batchLab.SolveCacheStats(); st.Hits+st.Misses == 0 {
+		t.Error("batch solves did not book against the Lab's solve cache")
+	}
+}
+
+// TestLabRunReductionBatchCancelled: a dead context fails every input
+// without building anything.
+func TestLabRunReductionBatchCancelled(t *testing.T) {
+	fam, _ := buildTestInstance(t, 67)
+	rng := rand.New(rand.NewSource(67))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), 2, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := newTestLab(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs, stats := lab.RunReductionBatch(ctx, fam, []congestlb.Inputs{in, in}, congestlb.CongestConfig{})
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+	if stats.Instances != 0 {
+		t.Fatalf("cancelled batch reported %d instances", stats.Instances)
 	}
 }
