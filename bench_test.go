@@ -122,6 +122,50 @@ func BenchmarkLabOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkObsOverhead prices the observability layer on the same full
+// RunReduction as BenchmarkLabOverhead: a plain Lab (the nil-registry
+// fast path the gate holds to BenchmarkLabOverhead/lab's trajectory), a
+// WithMetrics Lab (every counter/gauge/histogram live), and a metrics Lab
+// with a progress observer attached. The off path must price at nothing —
+// the handles are nil and every record site is a single pointer test —
+// while the on paths bound what a dashboard costs.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := congestlb.FigureParams(2)
+	fam, err := congestlb.NewLinear(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	in, _, err := congestlb.RandomUniquelyIntersecting(fam.InputBits(), p.T, 0.3, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := congestlb.CongestConfig{Seed: 7}
+
+	run := func(b *testing.B, opts ...congestlb.Option) {
+		b.Helper()
+		lab, err := congestlb.New(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer lab.Close()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := lab.RunReduction(ctx, fam, in, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b) })
+	b.Run("metrics", func(b *testing.B) { run(b, congestlb.WithMetrics(true)) })
+	b.Run("observed", func(b *testing.B) {
+		run(b, congestlb.WithMetrics(true),
+			congestlb.WithObserver(congestlb.ObserverFunc(func(congestlb.ProgressEvent) {})))
+	})
+}
+
 // BenchmarkBatchedSweep is the engine-level half of the batching story: B
 // identical-shape CONGEST runs as a loop of dedicated Networks versus one
 // congest.RunBatch lockstep pass over a shared graph. The batch side must

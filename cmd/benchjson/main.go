@@ -21,6 +21,18 @@
 // is how CI asserts that a warm -cache-dir re-run actually skipped
 // branch-and-bound.
 //
+// A v6 envelope written by an observed run (cmd/experiments -metrics-addr)
+// carries the run's metrics delta and span summary. When present, both are
+// printed and cross-checked against the envelope's legacy counters — the
+// solve-cache and build-cache hit/miss counters and the batch totals must
+// agree exactly, since the registry instruments the very same code paths.
+// -require-metrics fails when the block is absent (the observed-smoke
+// assertion), and -scrape URL additionally fetches a live /metrics.json
+// snapshot from a still-running (or -metrics-linger'ing) process and
+// verifies the scraped cumulative counters cover at least the envelope's
+// run delta — proving the ops endpoint serves the same registry the
+// envelope snapshotted.
+//
 // Finally, -compare turns two archived baselines into an enforced
 // trajectory instead of an archive:
 //
@@ -40,11 +52,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"congestlb/internal/obs"
 	"congestlb/internal/runner"
 )
 
@@ -135,8 +150,11 @@ func convert(r io.Reader, w io.Writer) error {
 // with the expected schema, and every experiment ok. A human-readable
 // summary is written to w either way; a non-nil error means CI must fail.
 // With requireDiskHits, a run that served nothing from the persistent
-// disk tier also fails — the warm-cache CI smoke's assertion.
-func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched bool) error {
+// disk tier also fails — the warm-cache CI smoke's assertion. With
+// requireMetrics, an envelope missing the v6 metrics block fails; with a
+// non-empty scrapeURL, a live /metrics.json snapshot is fetched and
+// cross-checked against the envelope's run delta.
+func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched, requireMetrics bool, scrapeURL string) error {
 	var env runner.Envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return fmt.Errorf("benchjson: envelope: %w", err)
@@ -192,6 +210,107 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched boo
 	if requireBatched && env.Batch.BatchedInstances == 0 {
 		return fmt.Errorf("benchjson: run batched no simulations (batched sweep expected)")
 	}
+	if requireMetrics && env.Metrics == nil {
+		return fmt.Errorf("benchjson: envelope carries no metrics block (observed run expected)")
+	}
+	if env.Metrics != nil {
+		if err := checkMetrics(env, w); err != nil {
+			return err
+		}
+	}
+	if scrapeURL != "" {
+		if env.Metrics == nil {
+			return fmt.Errorf("benchjson: -scrape needs an envelope with a metrics block")
+		}
+		if err := checkScrape(env, scrapeURL, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkMetrics prints the v6 metrics/span block and enforces its
+// sum-consistency with the envelope's legacy counters: the registry sits
+// on the same code paths the legacy per-session counters instrument, so a
+// single observed run's deltas must match them exactly. The build-cache
+// check is skipped for runs with no registry-visible build traffic — a
+// run solved entirely through bypass (uncached-builds) sessions books
+// nothing in the registry while the envelope still reports the bypass
+// builds.
+func checkMetrics(env runner.Envelope, w io.Writer) error {
+	m := *env.Metrics
+	fmt.Fprintf(w, "metrics delta: %d counter(s), %d gauge(s), %d histogram(s); %d span name(s)\n",
+		len(m.Counters), len(m.Gauges), len(m.Histograms), len(env.Spans))
+	names := make([]string, 0, len(m.Counters))
+	for name := range m.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-32s %d\n", name, m.Counters[name])
+	}
+	for _, sp := range env.Spans {
+		fmt.Fprintf(w, "  span %-27s %6d call(s)  %10.1f ms total  %8.1f ms max\n",
+			sp.Name, sp.Count, float64(sp.TotalNS)/1e6, float64(sp.MaxNS)/1e6)
+	}
+	type pair struct {
+		name    string
+		metrics int64
+		legacy  int64
+	}
+	checks := []pair{
+		{obs.MSolveCacheHits, m.Counter(obs.MSolveCacheHits), int64(env.Cache.Hits)},
+		{obs.MSolveCacheMisses, m.Counter(obs.MSolveCacheMisses), int64(env.Cache.Misses)},
+		{obs.MBatchPasses, m.Counter(obs.MBatchPasses), env.Batch.BatchJobs},
+		{obs.MBatchInstances, m.Counter(obs.MBatchInstances), env.Batch.BatchedInstances},
+	}
+	if m.Counter(obs.MBuildCacheHits)+m.Counter(obs.MBuildCacheMisses) > 0 {
+		checks = append(checks,
+			pair{obs.MBuildCacheHits, m.Counter(obs.MBuildCacheHits), int64(env.LBGraph.Hits)},
+			pair{obs.MBuildCacheMisses, m.Counter(obs.MBuildCacheMisses), int64(env.LBGraph.Misses)})
+	}
+	for _, c := range checks {
+		if c.metrics != c.legacy {
+			return fmt.Errorf("benchjson: metrics %s = %d disagrees with the envelope's legacy counter %d",
+				c.name, c.metrics, c.legacy)
+		}
+	}
+	if len(env.Spans) == 0 {
+		return fmt.Errorf("benchjson: observed envelope recorded no spans (at least the run span is expected)")
+	}
+	fmt.Fprintf(w, "metrics block consistent with legacy counters (%d check(s))\n", len(checks))
+	return nil
+}
+
+// checkScrape fetches a live /metrics.json snapshot and verifies the
+// scraped cumulative counters cover at least the envelope's run delta.
+// ≥, not ==: the scrape is process-cumulative (and may land after further
+// traffic), while the envelope records one run's delta.
+func checkScrape(env runner.Envelope, url string, w io.Writer) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return fmt.Errorf("benchjson: scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("benchjson: scrape %s: %s", url, resp.Status)
+	}
+	var live obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&live); err != nil {
+		return fmt.Errorf("benchjson: scrape %s: %w", url, err)
+	}
+	short := 0
+	for name, delta := range env.Metrics.Counters {
+		if live.Counter(name) < delta {
+			fmt.Fprintf(w, "  scrape: %s = %d < envelope delta %d\n", name, live.Counter(name), delta)
+			short++
+		}
+	}
+	if short > 0 {
+		return fmt.Errorf("benchjson: scraped snapshot misses %d counter(s) the envelope recorded", short)
+	}
+	fmt.Fprintf(w, "scraped %s: all %d envelope counter(s) covered\n", url, len(env.Metrics.Counters))
 	return nil
 }
 
@@ -290,6 +409,8 @@ func main() {
 	experimentsEnv := flag.String("experiments", "", "validate an experiment result envelope (cmd/experiments -json) instead of converting bench output")
 	requireDiskHits := flag.Bool("require-disk-hits", false, "with -experiments: fail unless the run served at least one solve from the disk tier")
 	requireBatched := flag.Bool("require-batched", false, "with -experiments: fail unless the run batched at least one simulation instance")
+	requireMetrics := flag.Bool("require-metrics", false, "with -experiments: fail unless the envelope carries the v6 metrics block")
+	scrape := flag.String("scrape", "", "with -experiments: fetch this /metrics.json URL and verify the live counters cover the envelope's delta")
 	compare := flag.Bool("compare", false, "compare two baseline files (old.json new.json) and fail on regressions beyond -threshold")
 	threshold := flag.Float64("threshold", 0.25, "with -compare: allowed ns/op and B/op growth as a fraction (0.25 = +25%)")
 	floor := flag.Float64("floor", 0, "with -compare: exempt benchmarks whose old ns/op is below this from the ns/op gate (1-iteration timing noise; B/op still gates)")
@@ -324,7 +445,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := checkEnvelope(f, w, *requireDiskHits, *requireBatched); err != nil {
+		if err := checkEnvelope(f, w, *requireDiskHits, *requireBatched, *requireMetrics, *scrape); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

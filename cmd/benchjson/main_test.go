@@ -3,11 +3,16 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"congestlb/internal/lbgraph"
+	"congestlb/internal/mis/cache"
+	"congestlb/internal/obs"
 	"congestlb/internal/runner"
 )
 
@@ -86,7 +91,7 @@ func TestCheckEnvelopeOK(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -108,7 +113,7 @@ func TestCheckEnvelopeFailsOnNonOK(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false)
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, "")
 	if err == nil {
 		t.Fatal("failed experiment accepted")
 	}
@@ -124,11 +129,11 @@ func TestCheckEnvelopeRequireDiskHits(t *testing.T) {
 		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false, false, ""); err == nil {
 		t.Fatal("cold run accepted with -require-disk-hits")
 	}
 	env.Cache.DiskHits = 3
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false, false, ""); err != nil {
 		t.Fatalf("warm run rejected: %v", err)
 	}
 }
@@ -248,10 +253,10 @@ func TestCompareBaselinesBadInput(t *testing.T) {
 
 func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader("not json"), &buf, false, false); err == nil {
+	if err := checkEnvelope(strings.NewReader("not json"), &buf, false, false, false, ""); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf, false, false); err == nil {
+	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf, false, false, false, ""); err == nil {
 		t.Fatal("wrong schema accepted")
 	}
 	// An envelope whose summary counters disagree with its records is
@@ -261,7 +266,7 @@ func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
 		Failed:      1,
 		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err == nil {
 		t.Fatal("inconsistent envelope accepted")
 	}
 }
@@ -326,6 +331,129 @@ func TestCompareBaselinesSuiteFallback(t *testing.T) {
 	}
 }
 
+// observedEnvelope builds a consistent v6 envelope with a metrics block
+// whose counters mirror the legacy fields exactly.
+func observedEnvelope() runner.Envelope {
+	return runner.Envelope{
+		Schema:  runner.Schema,
+		OK:      1,
+		Cache:   cache.Stats{Hits: 3, Misses: 5},
+		LBGraph: lbgraph.CacheStats{Hits: 2, Misses: 4},
+		Batch:   runner.BatchTotals{BatchJobs: 1, BatchedInstances: 6},
+		Experiments: []runner.ExperimentResult{
+			{ID: "scaling", Status: runner.StatusOK, BatchJobs: 1, BatchedInstances: 6},
+		},
+		Metrics: &obs.Snapshot{Counters: map[string]int64{
+			obs.MSolveCacheHits:   3,
+			obs.MSolveCacheMisses: 5,
+			obs.MBuildCacheHits:   2,
+			obs.MBuildCacheMisses: 4,
+			obs.MBatchPasses:      1,
+			obs.MBatchInstances:   6,
+		}},
+		Spans: []obs.SpanStat{{Name: "run", Count: 1, TotalNS: 1e6, MaxNS: 1e6}},
+	}
+}
+
+// TestCheckEnvelopeMetrics: a v6 metrics block is printed and enforced
+// against the legacy counters; -require-metrics fails unobserved runs.
+func TestCheckEnvelopeMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	env := observedEnvelope()
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, true, ""); err != nil {
+		t.Fatalf("consistent observed envelope rejected: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"metrics delta", obs.MSolveCacheMisses, "span run", "consistent with legacy counters"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// Any disagreement between the registry delta and the legacy counters
+	// is corruption: the two instrument the same code paths.
+	env = observedEnvelope()
+	env.Metrics.Counters[obs.MSolveCacheMisses] = 99
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, "")
+	if err == nil || !strings.Contains(err.Error(), obs.MSolveCacheMisses) {
+		t.Fatalf("metrics/legacy disagreement not flagged: %v", err)
+	}
+
+	env = observedEnvelope()
+	env.Metrics.Counters[obs.MBatchPasses] = 7
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err == nil {
+		t.Fatal("batch-pass disagreement accepted")
+	}
+
+	// A run whose registry saw no build traffic (bypass sessions) skips the
+	// build-cache check even though the envelope reports bypass builds.
+	env = observedEnvelope()
+	delete(env.Metrics.Counters, obs.MBuildCacheHits)
+	delete(env.Metrics.Counters, obs.MBuildCacheMisses)
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err != nil {
+		t.Fatalf("bypass-build envelope rejected: %v", err)
+	}
+
+	// An observed envelope without spans is broken: the run span always
+	// records.
+	env = observedEnvelope()
+	env.Spans = nil
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err == nil {
+		t.Fatal("span-free observed envelope accepted")
+	}
+
+	// -require-metrics gates unobserved runs; without it they pass.
+	plain := observedEnvelope()
+	plain.Metrics, plain.Spans = nil, nil
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, true, ""); err == nil {
+		t.Fatal("unobserved run accepted with -require-metrics")
+	}
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, false, ""); err != nil {
+		t.Fatalf("unobserved run rejected without the flag: %v", err)
+	}
+}
+
+// TestCheckEnvelopeScrape: the -scrape cross-check accepts a live
+// snapshot that covers the envelope's delta (cumulative ≥ delta) and
+// rejects one that falls short or cannot be fetched.
+func TestCheckEnvelopeScrape(t *testing.T) {
+	env := observedEnvelope()
+	live := obs.Snapshot{Counters: map[string]int64{}}
+	for name, v := range env.Metrics.Counters {
+		live.Counters[name] = v + 1 // cumulative: later traffic is fine
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(live)
+	}))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, srv.URL); err != nil {
+		t.Fatalf("covering scrape rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "covered") {
+		t.Fatalf("scrape summary missing:\n%s", buf.String())
+	}
+
+	live.Counters[obs.MSolveCacheMisses] = 0 // scraped registry can't have seen less
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, srv.URL)
+	if err == nil || !strings.Contains(err.Error(), "misses") {
+		t.Fatalf("short scrape not flagged: %v", err)
+	}
+
+	srv.Close()
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, srv.URL); err == nil {
+		t.Fatal("dead endpoint accepted")
+	}
+
+	// -scrape against an unobserved envelope has nothing to compare.
+	plain := observedEnvelope()
+	plain.Metrics, plain.Spans = nil, nil
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, false, srv.URL); err == nil {
+		t.Fatal("-scrape accepted an envelope without metrics")
+	}
+}
+
 // TestCheckEnvelopeBatch: the batch block must sum the per-experiment
 // counters, and -require-batched fails unbatched runs.
 func TestCheckEnvelopeBatch(t *testing.T) {
@@ -339,7 +467,7 @@ func TestCheckEnvelopeBatch(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, true); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, true, false, ""); err != nil {
 		t.Fatalf("batched envelope rejected: %v", err)
 	}
 	if !strings.Contains(buf.String(), "7 instance(s) over 2 lockstep pass(es)") {
@@ -347,7 +475,7 @@ func TestCheckEnvelopeBatch(t *testing.T) {
 	}
 
 	env.Batch.BatchedInstances = 6 // disagree with the records
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err == nil {
 		t.Fatal("inconsistent batch block accepted")
 	}
 
@@ -356,10 +484,10 @@ func TestCheckEnvelopeBatch(t *testing.T) {
 		OK:          1,
 		Experiments: []runner.ExperimentResult{{ID: "cutsize", Status: runner.StatusOK}},
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, true); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, true, false, ""); err == nil {
 		t.Fatal("unbatched run accepted with -require-batched")
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, false); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, false, false, ""); err != nil {
 		t.Fatalf("unbatched run rejected without the flag: %v", err)
 	}
 }

@@ -4,6 +4,7 @@
 //
 //	experiments [-id figure1,theorem5] [-jobs 4] [-solver-workers 4]
 //	            [-cache-dir .solvecache] [-timeout 90s]
+//	            [-metrics-addr 127.0.0.1:9090] [-metrics-linger 5s]
 //	            [-o report.md] [-json out.json] [-list]
 //
 // Without -id it runs every registered experiment and emits a combined
@@ -31,10 +32,20 @@
 // sweep still yields the profile explaining where the time went. See
 // docs/performance.md for the profiling workflow.
 //
-// -json writes the structured result envelope (schema v5) — one record
+// -metrics-addr switches the Lab's observability on (congestlb.WithMetrics)
+// and serves its ops endpoint on the given address for the duration of the
+// run: Prometheus text at /metrics, JSON snapshots at /metrics.json and
+// /spans.json, pprof under /debug/pprof/. The bound address is printed to
+// stderr (pass port 0 to let the kernel pick). Because a fast suite can
+// finish before a scraper ever polls, -metrics-linger keeps the endpoint
+// (and the process) alive for the given extra duration after the run —
+// CI's smoke test scrapes the final counters through it.
+//
+// -json writes the structured result envelope (schema v6) — one record
 // per experiment with status, wall time, cancellation flag, instance-job
 // count, exactly-attributed solver steps, solve-cache and build-cache
-// statistics, plus run-level disk-tier and build-cache traffic — which
+// statistics, plus run-level disk-tier and build-cache traffic and, with
+// -metrics-addr, the run's metrics delta and span summary — which
 // cmd/benchjson -experiments validates and CI archives.
 package main
 
@@ -45,10 +56,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"congestlb"
 )
@@ -69,6 +83,8 @@ func run(args []string, stdout io.Writer) error {
 	solverWorkers := fs.Int("solver-workers", 0, "branch-and-bound workers per exact solve (default GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "persistent solve-cache directory; re-runs serve solved graphs from disk")
 	timeout := fs.Duration("timeout", 0, "abort the run after this duration; unfinished experiments are recorded as cancelled (0 = no limit)")
+	metricsAddr := fs.String("metrics-addr", "", "enable per-Lab metrics and serve the ops endpoint (/metrics, /metrics.json, /spans.json, /debug/pprof/) on this address for the run")
+	metricsLinger := fs.Duration("metrics-linger", 0, "keep the -metrics-addr endpoint alive this long after the run finishes, for scrapers")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file (written on clean exit and on -timeout)")
 	memProfile := fs.String("memprofile", "", "write a heap profile to this file at exit (written on clean exit and on -timeout)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
@@ -131,11 +147,33 @@ func run(args []string, stdout io.Writer) error {
 		congestlb.WithJobs(*jobs),
 		congestlb.WithSolverWorkers(*solverWorkers),
 		congestlb.WithSolveCacheDir(*cacheDir),
+		congestlb.WithMetrics(*metricsAddr != ""),
 	)
 	if err != nil {
 		return err
 	}
 	defer lab.Close()
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics-addr: %w", err)
+		}
+		srv := &http.Server{Handler: lab.MetricsHandler()}
+		go srv.Serve(ln)
+		// The bound address goes to stderr so scripts using port 0 can
+		// find the endpoint without parsing the report stream.
+		fmt.Fprintf(os.Stderr, "experiments: metrics endpoint on http://%s/metrics\n", ln.Addr())
+		defer func() {
+			// Hold the endpoint open past the run so a scraper polling on
+			// an interval still sees the final counters, then shut down
+			// cleanly (Close, not Shutdown: lingering was the grace).
+			if *metricsLinger > 0 {
+				time.Sleep(*metricsLinger)
+			}
+			srv.Close()
+		}()
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"congestlb/internal/graphs"
+	"congestlb/internal/obs"
 )
 
 // The batch engine: RunBatch advances B instances in lockstep through one
@@ -68,10 +69,20 @@ type batchInst struct {
 // Network.RunCtx would: same round counts, stats, outputs, hook call
 // sequence and error strings. The context is observed once per lockstep
 // round — the same cadence as the sequential engine — and cancels every
-// still-live instance. A nil ctx means Background.
+// still-live instance. A nil ctx means Background. Items whose
+// Config.Metrics is nil inherit engine metrics from a context-bound
+// obs.Registry (obs.NewContext), if any, so direct RunBatch callers
+// under an observed run are accounted without stamping every item.
 func RunBatch(ctx context.Context, items []BatchItem) ([]Result, []error, BatchStats) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if ctxMetrics := NewEngineMetrics(obs.FromContext(ctx)); ctxMetrics != nil {
+		for i := range items {
+			if items[i].Config.Metrics == nil {
+				items[i].Config.Metrics = ctxMetrics
+			}
+		}
 	}
 	results := make([]Result, len(items))
 	errs := make([]error, len(items))
@@ -83,7 +94,13 @@ func RunBatch(ctx context.Context, items []BatchItem) ([]Result, []error, BatchS
 	seenGraphs := make(map[*graphs.Graph]bool, len(items))
 	total := 0
 	live := 0
+	// bm records the pass-level batch metrics; the items of one pass come
+	// from one caller, so the first item carrying handles speaks for all.
+	var bm *EngineMetrics
 	for i, it := range items {
+		if bm == nil {
+			bm = it.Config.Metrics
+		}
 		if it.Graph == nil {
 			errs[i] = fmt.Errorf("congest: nil graph")
 			continue
@@ -196,6 +213,7 @@ func RunBatch(ctx context.Context, items []BatchItem) ([]Result, []error, BatchS
 			}
 			if finished {
 				results[i] = inst.collect()
+				items[i].Config.Metrics.recordRun(inst.stats)
 				bstats.TotalRounds += int64(inst.stats.Rounds)
 				if inst.stats.Rounds > bstats.EngineRounds {
 					bstats.EngineRounds = inst.stats.Rounds
@@ -205,6 +223,7 @@ func RunBatch(ctx context.Context, items []BatchItem) ([]Result, []error, BatchS
 			}
 		}
 	}
+	bm.recordBatch(bstats)
 	return results, errs, bstats
 }
 

@@ -135,6 +135,11 @@ type Config struct {
 	Workers int
 	// Hook, if set, observes every delivered message.
 	Hook MessageHook
+	// Metrics, if set, receives the run's cost counters on successful
+	// completion (see EngineMetrics). internal/core stamps it from a
+	// context-bound observability registry; direct engine users may set
+	// it themselves. Nil costs nothing.
+	Metrics *EngineMetrics
 }
 
 // DefaultBandwidth returns the default B for an n-node network.
@@ -348,6 +353,7 @@ func (n *Network) RunCtx(ctx context.Context) (Result, error) {
 		}
 		if allDone {
 			stats.Rounds = round - 1
+			n.cfg.Metrics.recordRun(stats)
 			return n.collect(stats), nil
 		}
 

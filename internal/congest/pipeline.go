@@ -176,6 +176,7 @@ func (n *Network) runPipelined(ctx context.Context, workers, maxRounds int) (Res
 			}
 			stats := p.mergeStats()
 			stats.Rounds = round - 1
+			n.cfg.Metrics.recordRun(stats)
 			return n.collect(stats), nil
 		}
 		if herr := p.runStep(pipeCmd{round: round, deliver: round > 1, compute: true}, hook); herr != nil {

@@ -76,6 +76,55 @@ func TestTracerPipelinedEngine(t *testing.T) {
 	}
 }
 
+// TestTracerBatchEngine pins the Tracer contract under RunBatch: each
+// item's hook fires from the single lockstep loop, so unlocked per-item
+// Tracers observe exactly the trace a dedicated solo run produces, even
+// when the items share one graph.
+func TestTracerBatchEngine(t *testing.T) {
+	g := ring(t, 12)
+	seeds := []int64{3, 7, 21}
+
+	want := make([][]RoundStat, len(seeds))
+	for i, seed := range seeds {
+		var tr Tracer
+		net, err := NewNetwork(g, floodPrograms(12), Config{Seed: seed, Hook: tr.Hook()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := net.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = tr.Rounds()
+	}
+
+	tracers := make([]Tracer, len(seeds))
+	items := make([]BatchItem, len(seeds))
+	for i, seed := range seeds {
+		items[i] = BatchItem{
+			Graph:    g,
+			Programs: floodPrograms(12),
+			Config:   Config{Seed: seed, Hook: tracers[i].Hook()},
+		}
+	}
+	_, errs, _ := RunBatch(nil, items)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+	}
+	for i := range seeds {
+		got := tracers[i].Rounds()
+		if len(got) != len(want[i]) {
+			t.Fatalf("item %d: %d traced rounds, want %d", i, len(got), len(want[i]))
+		}
+		for r := range want[i] {
+			if got[r] != want[i][r] {
+				t.Fatalf("item %d round %d: %+v, want %+v", i, want[i][r].Round, got[r], want[i][r])
+			}
+		}
+	}
+}
+
 func TestTracerZeroValue(t *testing.T) {
 	var tr Tracer
 	if peak := tr.PeakRound(); peak.Bits != 0 || peak.Round != 0 {

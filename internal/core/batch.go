@@ -7,6 +7,7 @@ import (
 	"congestlb/internal/bitvec"
 	"congestlb/internal/cc"
 	"congestlb/internal/congest"
+	"congestlb/internal/obs"
 )
 
 // BatchSim is one Theorem 5 simulation of a batched sweep: a pre-built
@@ -38,6 +39,14 @@ func SimulateBatch(ctx context.Context, sims []BatchSim) ([]SimulationReport, []
 	reports := make([]SimulationReport, len(sims))
 	errs := make([]error, len(sims))
 
+	// The whole lockstep pass is one "simulate" span; per-sim engine
+	// metrics come from each sim's own Cfg.Metrics, defaulted from the
+	// context registry like SimulateBuiltCtx.
+	var sp obs.Span
+	ctx, sp = obs.Begin(ctx, "simulate")
+	defer sp.End()
+	em := congest.NewEngineMetrics(obs.FromContext(ctx))
+
 	// Per-sim pre-work mirroring SimulateBuiltCtx: truth evaluation,
 	// blackboard pre-sized from the process high-water mark, the
 	// cut-routing hook. Sims that fail pre-work never enter the engine.
@@ -63,6 +72,9 @@ func SimulateBatch(ctx context.Context, sims []BatchSim) ([]SimulationReport, []
 		part := s.Inst.Partition
 		userHook := s.Cfg.Hook
 		cfg := s.Cfg
+		if cfg.Metrics == nil {
+			cfg.Metrics = em
+		}
 		cfg.Hook = func(round int, msg congest.Message) error {
 			if part.Of(msg.From) != part.Of(msg.To) {
 				tag := cc.Tag{Round: round, From: msg.From, To: msg.To}

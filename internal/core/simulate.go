@@ -10,6 +10,7 @@ import (
 	"congestlb/internal/congest"
 	"congestlb/internal/graphs"
 	"congestlb/internal/mis/cache"
+	"congestlb/internal/obs"
 )
 
 // SimulationReport is the outcome of one run of the Theorem 5 simulation:
@@ -123,7 +124,17 @@ func SimulateBuilt(fam Family, in bitvec.Inputs, inst Instance, factory ProgramF
 }
 
 // SimulateBuiltCtx is SimulateBuilt under a context (see SimulateCtx).
+// When the context carries an obs.Registry (obs.NewContext), the run is
+// wrapped in a "simulate" span and — unless the caller stamped
+// cfg.Metrics itself — the engine records its round/message/bit totals
+// into that registry.
 func SimulateBuiltCtx(ctx context.Context, fam Family, in bitvec.Inputs, inst Instance, factory ProgramFactory, extract OptExtractor, cfg congest.Config) (SimulationReport, error) {
+	var sp obs.Span
+	ctx, sp = obs.Begin(ctx, "simulate")
+	defer sp.End()
+	if cfg.Metrics == nil {
+		cfg.Metrics = congest.NewEngineMetrics(obs.FromContext(ctx))
+	}
 	truth, err := in.PromisePairwiseDisjointness()
 	if err != nil {
 		return SimulationReport{}, fmt.Errorf("core: inputs: %w", err)

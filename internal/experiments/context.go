@@ -5,12 +5,14 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"congestlb/internal/bitvec"
 	"congestlb/internal/congest"
 	"congestlb/internal/core"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis/cache"
+	"congestlb/internal/obs"
 )
 
 // This file is the execution machinery handed to every experiment: the
@@ -65,6 +67,12 @@ type instanceJob struct {
 	fn    func() error
 	err   error
 	done  chan struct{}
+	// enqNS/om carry the scheduler's observability handles when a
+	// registry is attached (SetRegistry): enqNS is the enqueue instant,
+	// and whoever wins the claim books the enqueue→claim wait. Both stay
+	// zero-valued — and cost nothing — without a registry.
+	enqNS int64
+	om    *schedMetrics
 }
 
 // claim runs the job if it is still queued, transitioning it to done.
@@ -73,6 +81,12 @@ type instanceJob struct {
 func (j *instanceJob) claim() bool {
 	if !j.state.CompareAndSwap(jobQueued, jobRunning) {
 		return false
+	}
+	if j.om != nil {
+		// Booked at claim, not at queue pop: a gatherer-claimed job's wait
+		// ends the moment the claim wins, even though its queue carcass is
+		// popped (and discarded) by a worker later.
+		j.om.wait.Observe(time.Now().UnixNano() - j.enqNS)
 	}
 	j.err = j.fn()
 	j.state.Store(jobDone)
@@ -96,6 +110,35 @@ type Scheduler struct {
 	closed  bool
 	workers int
 	wg      sync.WaitGroup
+	// om holds the observability handles attached by SetRegistry.
+	om atomic.Pointer[schedMetrics]
+}
+
+// schedMetrics is the scheduler's resolved registry handle set: the
+// queue-depth gauge counts jobs sitting in the two queues (a job
+// claimed inline by its gatherer still occupies a queue slot until a
+// worker pops its carcass), the jobs counter counts every submission,
+// and the wait histogram records enqueue→claim latency — the admission
+// signal the planned congestlbd service needs.
+type schedMetrics struct {
+	depth *obs.Gauge
+	jobs  *obs.Counter
+	wait  *obs.Histogram
+}
+
+// SetRegistry attaches (or with nil detaches) an observability
+// registry. Jobs already queued keep their old handles (or none);
+// attach before submitting, as the Lab does at run start.
+func (s *Scheduler) SetRegistry(r *obs.Registry) {
+	if r == nil {
+		s.om.Store(nil)
+		return
+	}
+	s.om.Store(&schedMetrics{
+		depth: r.Gauge(obs.MSchedQueueDepth),
+		jobs:  r.Counter(obs.MSchedJobs),
+		wait:  r.Histogram(obs.MSchedJobWaitNS),
+	})
 }
 
 // NewScheduler starts a pool of the given size (values < 1 mean 1).
@@ -140,12 +183,18 @@ func (s *Scheduler) next() *instanceJob {
 			j := s.inst[0]
 			s.inst[0] = nil
 			s.inst = s.inst[1:]
+			if m := s.om.Load(); m != nil {
+				m.depth.Add(-1)
+			}
 			return j
 		}
 		if len(s.exp) > 0 {
 			j := s.exp[0]
 			s.exp[0] = nil
 			s.exp = s.exp[1:]
+			if m := s.om.Load(); m != nil {
+				m.depth.Add(-1)
+			}
 			return j
 		}
 		if s.closed {
@@ -160,6 +209,11 @@ func (s *Scheduler) next() *instanceJob {
 // gatherer's inline claim, and an entry point that half-works after Close
 // hides lifecycle bugs.
 func (s *Scheduler) submit(j *instanceJob) {
+	if m := s.om.Load(); m != nil {
+		j.om, j.enqNS = m, time.Now().UnixNano()
+		m.jobs.Inc()
+		m.depth.Add(1)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -178,6 +232,11 @@ func (s *Scheduler) submit(j *instanceJob) {
 // blocking).
 func (s *Scheduler) Submit(fn func()) (wait func()) {
 	j := &instanceJob{fn: func() error { fn(); return nil }, done: make(chan struct{})}
+	if m := s.om.Load(); m != nil {
+		j.om, j.enqNS = m, time.Now().UnixNano()
+		m.jobs.Inc()
+		m.depth.Add(1)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -303,6 +362,11 @@ func (w *Ctx) Go(fn func() error) {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			// One span per instance job, parented to the experiment span the
+			// runner opened in this ctx. Without a registry obs.Begin is a
+			// single context lookup.
+			_, sp := obs.Begin(ctx, "job")
+			defer sp.End()
 			return fn()
 		}
 	}

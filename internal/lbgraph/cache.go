@@ -41,9 +41,11 @@ import (
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"congestlb/internal/core"
 	"congestlb/internal/graphs"
+	"congestlb/internal/obs"
 )
 
 // CacheKey is the canonical content hash of one construction.
@@ -86,6 +88,36 @@ type BuildCache struct {
 	index    map[CacheKey]*list.Element
 	lru      *list.List // front = most recently used; values are *buildEntry
 	stats    CacheStats
+	// om holds the observability handles attached by SetRegistry (an
+	// atomic pointer so attachment races no lookup and the detached
+	// fast path costs one load — mirrors mis/cache).
+	om atomic.Pointer[buildMetrics]
+}
+
+// buildMetrics is the build cache's resolved registry handle set.
+// Events mirror the CacheStats/CacheSession bookkeeping one for one.
+// Note that a session in bypass mode (NewUncachedCacheSession) never
+// reaches the cache, so uncached-builds A/B runs book no build_cache_*
+// events — the envelope's legacy lbgraph block is the record there.
+type buildMetrics struct {
+	hits, misses, waits *obs.Counter
+	latency             *obs.Histogram
+}
+
+// SetRegistry attaches (or with nil detaches) an observability
+// registry: subsequent builds book hit/miss/single-flight-wait counts
+// and fresh builds record a latency histogram.
+func (c *BuildCache) SetRegistry(r *obs.Registry) {
+	if r == nil {
+		c.om.Store(nil)
+		return
+	}
+	c.om.Store(&buildMetrics{
+		hits:    r.Counter(obs.MBuildCacheHits),
+		misses:  r.Counter(obs.MBuildCacheMisses),
+		waits:   r.Counter(obs.MBuildCacheWaits),
+		latency: r.Histogram(obs.MBuildLatencyNS),
+	})
 }
 
 // NewBuildCache returns an empty cache bounded to the given number of
@@ -107,13 +139,21 @@ func NewBuildCache(capacity int) *BuildCache {
 // instance is always a private deep copy. Errors are not cached: a failed
 // build is retried by the next caller.
 func (c *BuildCache) instance(key CacheKey, build func() (core.Instance, error), sess *CacheSession) (core.Instance, error) {
+	m := c.om.Load()
 	c.mu.Lock()
 	if el, found := c.index[key]; found {
 		e := el.Value.(*buildEntry)
 		c.lru.MoveToFront(el)
 		c.stats.Hits++
+		done := e.done
 		c.mu.Unlock()
 		sess.record(func(st *CacheStats) { st.Hits++ })
+		if m != nil {
+			m.hits.Inc()
+			if !done {
+				m.waits.Inc()
+			}
+		}
 		<-e.ready
 		if e.err != nil {
 			return core.Instance{}, e.err
@@ -127,8 +167,18 @@ func (c *BuildCache) instance(key CacheKey, build func() (core.Instance, error),
 	c.evictLocked()
 	c.mu.Unlock()
 	sess.record(func(st *CacheStats) { st.Misses++ })
+	if m != nil {
+		m.misses.Inc()
+	}
 
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	inst, err := build()
+	if m != nil && err == nil {
+		m.latency.Observe(time.Since(t0).Nanoseconds())
+	}
 
 	c.mu.Lock()
 	if err != nil {

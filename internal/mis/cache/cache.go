@@ -33,9 +33,11 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"congestlb/internal/graphs"
 	"congestlb/internal/mis"
+	"congestlb/internal/obs"
 )
 
 // Key is the canonical content hash of one solve: graph structure, node
@@ -98,6 +100,43 @@ type Cache struct {
 	lru      *list.List // front = most recently used; values are *entry
 	stats    Stats
 	disk     *diskTier // nil until SetDir attaches the persistent tier
+	// om holds the observability handles attached by SetRegistry; an
+	// atomic pointer (not the cache mutex) so the nil-registry fast path
+	// costs one load and the attach can race live lookups under -race.
+	om atomic.Pointer[cacheMetrics]
+}
+
+// cacheMetrics is the cache's resolved registry handle set. Events
+// mirror the Stats/Session bookkeeping one for one, which is what makes
+// the registry's solve_cache_* counters sum-consistent with the
+// envelope's legacy cache block.
+type cacheMetrics struct {
+	hits, misses, waits  *obs.Counter
+	diskHits, diskMisses *obs.Counter
+	steps, stepsSaved    *obs.Counter
+	latency, stepsHist   *obs.Histogram
+}
+
+// SetRegistry attaches (or with nil detaches) an observability registry:
+// every subsequent lookup books its hit/miss/single-flight-wait and
+// fresh solves record latency and step histograms. The per-Lab registry
+// wiring (congestlb.WithMetrics) calls this once at construction.
+func (c *Cache) SetRegistry(r *obs.Registry) {
+	if r == nil {
+		c.om.Store(nil)
+		return
+	}
+	c.om.Store(&cacheMetrics{
+		hits:       r.Counter(obs.MSolveCacheHits),
+		misses:     r.Counter(obs.MSolveCacheMisses),
+		waits:      r.Counter(obs.MSolveCacheWaits),
+		diskHits:   r.Counter(obs.MSolveCacheDiskHits),
+		diskMisses: r.Counter(obs.MSolveCacheDiskMisses),
+		steps:      r.Counter(obs.MSolveSteps),
+		stepsSaved: r.Counter(obs.MSolveStepsSaved),
+		latency:    r.Histogram(obs.MSolveLatencyNS),
+		stepsHist:  r.Histogram(obs.MSolveStepsHist),
+	})
 }
 
 // New returns an empty cache bounded to the given number of entries
@@ -161,6 +200,7 @@ func (c *Cache) exact(ctx context.Context, g *graphs.Graph, opts mis.Options, se
 // joined entry died of its owner's cancellation and the (still-live)
 // caller should attempt the lookup again.
 func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts mis.Options, sess *Session) (_ mis.Solution, _ error, retry bool) {
+	m := c.om.Load() // nil when no registry is attached; every use is nil-guarded
 	c.mu.Lock()
 	disk := c.disk
 	if el, found := c.index[key]; found {
@@ -176,6 +216,9 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 		// must not leave it blocked on a solve another caller owns (which
 		// may be running under a context that never cancels).
 		if !done {
+			if m != nil {
+				m.waits.Inc()
+			}
 			select {
 			case <-e.ready:
 			case <-ctx.Done():
@@ -204,6 +247,9 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 			c.stats.Hits++
 			c.mu.Unlock()
 			sess.record(func(st *Stats) { st.Hits++ })
+			if m != nil {
+				m.hits.Inc()
+			}
 			return clone(e.sol), e.err, false
 		}
 		c.mu.Lock()
@@ -214,6 +260,10 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 			st.Hits++
 			st.StepsSaved += e.sol.Steps
 		})
+		if m != nil {
+			m.hits.Inc()
+			m.stepsSaved.Add(e.sol.Steps)
+		}
 		return clone(e.sol), nil, false
 	}
 	// A weight-only miss may be served by a completed canonical solve of
@@ -237,6 +287,10 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 						st.Hits++
 						st.StepsSaved += ce.sol.Steps
 					})
+					if m != nil {
+						m.hits.Inc()
+						m.stepsSaved.Add(ce.sol.Steps)
+					}
 					return clone(ce.sol), nil, false
 				}
 			}
@@ -249,6 +303,9 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 	c.evictLocked()
 	c.mu.Unlock()
 	sess.record(func(st *Stats) { st.Misses++ })
+	if m != nil {
+		m.misses.Inc()
+	}
 
 	// In-memory miss: try the persistent tier before paying for a solve.
 	var sol mis.Solution
@@ -272,9 +329,31 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 				st.DiskMisses++
 			}
 		})
+		if m != nil {
+			if fromDisk {
+				m.diskHits.Inc()
+				m.stepsSaved.Add(sol.Steps)
+			} else {
+				m.diskMisses.Inc()
+			}
+		}
 	}
 	if !fromDisk {
-		sol, err = mis.ExactCtx(ctx, g, opts)
+		// This is the fresh-solve site: the only place branch-and-bound
+		// actually runs, so it carries the solve span and the latency/step
+		// histograms. With no registry, obs.Begin is one context lookup.
+		solveCtx, sp := obs.Begin(ctx, "solve")
+		var t0 time.Time
+		if m != nil {
+			t0 = time.Now()
+		}
+		sol, err = mis.ExactCtx(solveCtx, g, opts)
+		sp.End()
+		if m != nil && err == nil {
+			m.latency.Observe(time.Since(t0).Nanoseconds())
+			m.steps.Add(sol.Steps)
+			m.stepsHist.Observe(sol.Steps)
+		}
 		if err == nil && disk != nil {
 			if evicted, werr := disk.store(key, sol); werr == nil {
 				c.mu.Lock()

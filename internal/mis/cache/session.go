@@ -6,6 +6,7 @@ import (
 
 	"congestlb/internal/graphs"
 	"congestlb/internal/mis"
+	"congestlb/internal/obs"
 )
 
 // Session is a per-caller view of a Cache: it forwards every solve to the
@@ -33,6 +34,10 @@ type Session struct {
 	// a context; binding the run's context to the session threads
 	// cancellation through them without widening NodeProgram.
 	ctx context.Context
+	// progress is the default incumbent observer bound by WithProgress:
+	// solves that do not pin their own Options.Progress get it. Like ctx
+	// it is set while the session has a single owner and read-only after.
+	progress obs.ProgressObserver
 
 	mu    sync.Mutex
 	stats Stats
@@ -54,6 +59,19 @@ func NewSession(c *Cache, workers int) *Session {
 func (s *Session) WithContext(ctx context.Context) *Session {
 	if s != nil {
 		s.ctx = ctx
+	}
+	return s
+}
+
+// WithProgress binds a default incumbent observer to the session and
+// returns it: every subsequent solve that leaves Options.Progress nil
+// fires this observer on each improvement (see mis.Options.Progress —
+// in particular, lookups served from cache or collapsed onto another
+// caller's in-flight solve deliver no events). Like WithContext, bind
+// before handing the session out. A nil receiver is returned unchanged.
+func (s *Session) WithProgress(o obs.ProgressObserver) *Session {
+	if s != nil {
+		s.progress = o
 	}
 	return s
 }
@@ -111,6 +129,9 @@ func (s *Session) ExactCtx(ctx context.Context, g *graphs.Graph, opts mis.Option
 	}
 	if opts.Workers == 0 {
 		opts.Workers = s.workers
+	}
+	if opts.Progress == nil {
+		opts.Progress = s.progress
 	}
 	c := s.c
 	if c == nil {

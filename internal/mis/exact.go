@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"congestlb/internal/graphs"
+	"congestlb/internal/obs"
 )
 
 // ErrBudgetExceeded is returned when branch-and-bound exhausts its step
@@ -54,6 +55,22 @@ type Options struct {
 	// (internal/mis/cache), so weight-only solves can never serve a
 	// caller that expects the canonical witness.
 	WeightOnly bool
+	// Progress, when non-nil, receives one event per incumbent
+	// improvement: the initial greedy seed before the search starts,
+	// then every strictly better independent set either engine installs.
+	// Improvements are serialised (inline in the sequential engine,
+	// under the incumbent mutex in the parallel one), so a single solve
+	// delivers a strictly weight-increasing sequence. The field is
+	// deliberately excluded from the solve-cache key (internal/mis/cache
+	// KeyOf): observing a solve must not change what it computes — but
+	// that also means a lookup served from cache, or collapsed onto
+	// another caller's in-flight solve, fires no events.
+	//
+	// The per-node hot path is untouched: the only added branches sit on
+	// the improvement sites, which fire at most once per distinct
+	// incumbent weight — the same rarity class as the existing
+	// stepFlushBatch bookkeeping.
+	Progress obs.ProgressObserver
 }
 
 const defaultMaxSteps = 50_000_000
@@ -151,6 +168,13 @@ func ExactCtx(ctx context.Context, g *graphs.Graph, opts Options) (Solution, err
 	st.weightOnly = opts.WeightOnly
 	st.ctx = ctx
 	st.ctxDone = ctx.Done()
+	st.progress = opts.Progress
+	if st.progress != nil {
+		// The seed event: observers see the greedy starting weight before
+		// any engine events, so even a search that never improves (or is
+		// cancelled instantly) reports where it stood.
+		st.progress.OnIncumbent(obs.ProgressEvent{Weight: st.seedWeight})
+	}
 	if workers := resolveWorkers(opts.Workers, n); workers > 1 {
 		return exactParallel(st, workers)
 	}
@@ -195,6 +219,10 @@ type exactState struct {
 	best    atomic.Int64 // incumbent weight, read lock-free for pruning
 	mu      sync.Mutex   // guards bestSet and best-improvement ordering
 	bestSet []uint64
+	// progress, when set, is fired on every incumbent improvement —
+	// inline in the sequential engine, under mu in the parallel one, so
+	// events arrive strictly weight-increasing (Options.Progress).
+	progress obs.ProgressObserver
 	// seedWeight is the greedy incumbent the search started from. When the
 	// search never improves on it, both engines return the seed set
 	// itself, so the parallel engine must not canonicalise in that case
@@ -251,6 +279,13 @@ func (st *exactState) offerIncumbent(cur int64, set []uint64) {
 	if cur > st.best.Load() {
 		st.best.Store(cur)
 		copy(st.bestSet, set)
+		if st.progress != nil {
+			// Fired while still holding mu: the lock is what guarantees
+			// racing workers deliver a strictly weight-increasing sequence
+			// (an improvement observed outside the lock could overtake a
+			// larger one already installed).
+			st.progress.OnIncumbent(obs.ProgressEvent{Weight: cur, Steps: st.steps.Load()})
+		}
 	}
 	st.mu.Unlock()
 }
@@ -386,6 +421,9 @@ func (w *searcher) searchSeq(p []uint64, cur int64, depth int) error {
 	if cur > st.best.Load() {
 		st.best.Store(cur)
 		copy(st.bestSet, w.curSet)
+		if st.progress != nil {
+			st.progress.OnIncumbent(obs.ProgressEvent{Weight: cur, Steps: w.localSteps})
+		}
 	}
 	v := w.pickBranchNode(p)
 	if v == -1 {

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns the opt-in ops endpoint for a registry:
+//
+//	/metrics        Prometheus text exposition (counters suffixed
+//	                _total, histograms as cumulative le buckets, all
+//	                names prefixed congestlb_)
+//	/metrics.json   the Snapshot as JSON
+//	/spans.json     raw span records plus the dropped count
+//	/debug/pprof/*  the standard pprof mux (explicitly wired — the
+//	                handler never touches http.DefaultServeMux)
+//
+// The handler is read-only and safe to scrape while a run is in
+// flight; it is exposed by cmd/experiments -metrics-addr and
+// Lab.MetricsHandler. Returns nil for a nil registry so callers can
+// gate serving on observability being enabled.
+func Handler(r *Registry) http.Handler {
+	if r == nil {
+		return nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writePrometheus(w, r.Snapshot())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/spans.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Spans   []SpanRecord `json:"spans"`
+			Dropped int64        `json:"dropped,omitempty"`
+		}{Spans: r.Spans(), Dropped: r.SpansDropped()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// promPrefix namespaces every exported series.
+const promPrefix = "congestlb_"
+
+// writePrometheus renders a snapshot in the Prometheus text format.
+func writePrometheus(w http.ResponseWriter, s Snapshot) {
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "# TYPE %s%s_total counter\n", promPrefix, name)
+		fmt.Fprintf(w, "%s%s_total %d\n", promPrefix, name, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "# TYPE %s%s gauge\n", promPrefix, name)
+		fmt.Fprintf(w, "%s%s %d\n", promPrefix, name, s.Gauges[name])
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s%s histogram\n", promPrefix, name)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			fmt.Fprintf(w, "%s%s_bucket{le=\"%d\"} %d\n", promPrefix, name, b.Le, cum)
+		}
+		fmt.Fprintf(w, "%s%s_bucket{le=\"+Inf\"} %d\n", promPrefix, name, h.Count)
+		fmt.Fprintf(w, "%s%s_sum %d\n", promPrefix, name, h.Sum)
+		fmt.Fprintf(w, "%s%s_count %d\n", promPrefix, name, h.Count)
+	}
+}

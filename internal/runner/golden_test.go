@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"congestlb/internal/experiments"
+	"congestlb/internal/obs"
 )
 
 // The golden-report determinism suite: the contract that intra-experiment
@@ -100,6 +101,64 @@ func TestGoldenReportDeterminismPipelined(t *testing.T) {
 		if !bytes.Equal(golden.Bytes(), piped.Bytes()) {
 			t.Fatalf("pipelined report at -jobs %d differs from sequential-engine run:\n%s",
 				jobs, firstDiff(golden.Bytes(), piped.Bytes()))
+		}
+	}
+}
+
+// TestGoldenReportDeterminismObserved re-runs the determinism contract
+// with full observability attached: a live registry (metrics recorded by
+// caches, scheduler and engines; spans opened around every experiment,
+// job, simulate and solve) and the pipelined engine forced on. The
+// baseline is the plain registry-less sequential run, so the test pins
+// the non-perturbation guarantee — enabling observability must never be
+// observable in the markdown report, at any jobs count.
+func TestGoldenReportDeterminismObserved(t *testing.T) {
+	fast, heavy := goldenPartition()
+	exps := fast
+	if !testing.Short() {
+		exps = append(append([]experiments.Experiment{}, fast...), heavy...)
+	}
+	var golden bytes.Buffer
+	if _, err := Run(exps, Options{Jobs: 1}, &golden); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("CONGESTLB_PIPELINE", "force")
+	for _, jobs := range []int{1, 2, 4, 8} {
+		reg := obs.NewRegistry()
+		var observed bytes.Buffer
+		env, err := Run(exps, Options{Jobs: jobs, Obs: reg}, &observed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(golden.Bytes(), observed.Bytes()) {
+			t.Fatalf("observed report at -jobs %d differs from plain run:\n%s",
+				jobs, firstDiff(golden.Bytes(), observed.Bytes()))
+		}
+		if env.Metrics == nil {
+			t.Fatalf("jobs=%d: envelope carries no metrics block", jobs)
+		}
+		// The envelope's metrics delta must agree with the legacy counters
+		// it rides next to — the sum-consistency contract of schema v6.
+		if got, want := env.Metrics.Counter(obs.MSolveCacheHits), int64(env.Cache.Hits); got != want {
+			t.Fatalf("jobs=%d: metrics solve hits %d, envelope %d", jobs, got, want)
+		}
+		if got, want := env.Metrics.Counter(obs.MSolveCacheMisses), int64(env.Cache.Misses); got != want {
+			t.Fatalf("jobs=%d: metrics solve misses %d, envelope %d", jobs, got, want)
+		}
+		if got, want := env.Metrics.Counter(obs.MBuildCacheHits), int64(env.LBGraph.Hits); got != want {
+			t.Fatalf("jobs=%d: metrics build hits %d, envelope %d", jobs, got, want)
+		}
+		if got, want := env.Metrics.Counter(obs.MBuildCacheMisses), int64(env.LBGraph.Misses); got != want {
+			t.Fatalf("jobs=%d: metrics build misses %d, envelope %d", jobs, got, want)
+		}
+		if got, want := env.Metrics.Counter(obs.MBatchPasses), env.Batch.BatchJobs; got != want {
+			t.Fatalf("jobs=%d: metrics batch passes %d, envelope %d", jobs, got, want)
+		}
+		if got, want := env.Metrics.Counter(obs.MBatchInstances), env.Batch.BatchedInstances; got != want {
+			t.Fatalf("jobs=%d: metrics batch instances %d, envelope %d", jobs, got, want)
+		}
+		if len(env.Spans) == 0 {
+			t.Fatalf("jobs=%d: envelope carries no span summary", jobs)
 		}
 	}
 }

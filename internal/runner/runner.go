@@ -49,6 +49,7 @@ import (
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
 	"congestlb/internal/mis/cache"
+	"congestlb/internal/obs"
 )
 
 // Schema identifies the envelope format; bump when fields change meaning.
@@ -61,7 +62,13 @@ import (
 // batched_instances count the lockstep congest.RunBatch passes the
 // experiment submitted and the simulation instances they carried, and the
 // run-level batch block sums them.
-const Schema = "congestlb/experiment-envelope/v5"
+// v6: observability — when Options.Obs carries a registry, the envelope
+// embeds the run's metrics delta (run-scoped counter/gauge/histogram
+// snapshot, sum-consistent with the legacy cache/lbgraph/batch counters)
+// and a span summary (count/total/max ns per span name). Both blocks are
+// omitted on registry-less runs, whose envelopes are byte-identical to v5
+// apart from the schema string.
+const Schema = "congestlb/experiment-envelope/v6"
 
 // Experiment statuses in the envelope.
 const (
@@ -95,6 +102,15 @@ type Options struct {
 	// starting (and stopping) a private one. The caller keeps ownership:
 	// Run never closes it.
 	Scheduler *experiments.Scheduler
+	// Obs attaches a metrics registry to the run: solve/build caches and
+	// engines record into it (callers wire the caches via their
+	// SetRegistry before the run — congestlb.Lab does), spans wrap the run
+	// → experiment → job/simulate/solve tree, and the envelope embeds the
+	// run-scoped Metrics delta and Spans summary. When the runner owns the
+	// scheduler it attaches the registry to it too; a caller-owned
+	// Scheduler keeps whatever registry the caller set. Nil = no
+	// observability, envelope blocks omitted.
+	Obs *obs.Registry
 }
 
 // ExperimentResult is one experiment's record in the JSON envelope.
@@ -176,6 +192,12 @@ type Envelope struct {
 	LBGraph lbgraph.CacheStats `json:"lbgraph_cache"`
 	// Batch sums the per-experiment batched-simulation accounting.
 	Batch BatchTotals `json:"batch"`
+	// Metrics is the run-scoped delta of the Options.Obs registry
+	// (counters/histograms diffed across the run window, gauges at their
+	// end-of-run level); Spans aggregates the spans the run completed, by
+	// name. Both nil when the run carried no registry.
+	Metrics *obs.Snapshot  `json:"metrics,omitempty"`
+	Spans   []obs.SpanStat `json:"spans,omitempty"`
 	// Experiments holds one record per experiment, in report order.
 	Experiments []ExperimentResult `json:"experiments"`
 }
@@ -231,6 +253,17 @@ func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w 
 			statsBuild = lbgraph.SharedBuildCache()
 		}
 	}
+	// An observed run points the caches it uses at its registry (a Lab
+	// already did this for its own caches; re-attaching the same registry
+	// is idempotent). Last attachment wins, so two concurrent observed
+	// runs over the *shared* caches would attribute approximately — pin
+	// caches per run (as Lab does) when that matters.
+	if opts.Obs != nil {
+		statsCache.SetRegistry(opts.Obs)
+		if statsBuild != nil {
+			statsBuild.SetRegistry(opts.Obs)
+		}
+	}
 
 	// One scheduler serves both levels: experiment jobs submitted here and
 	// the per-instance jobs those experiments fan out through Ctx.Go.
@@ -242,8 +275,24 @@ func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w 
 	ownSched := sched == nil
 	if ownSched {
 		sched = experiments.NewScheduler(jobs)
+		if opts.Obs != nil {
+			sched.SetRegistry(opts.Obs)
+		}
 	} else {
 		jobs = sched.Workers()
+	}
+
+	// Observability scoping: the metrics snapshot and span watermark taken
+	// here make the envelope's blocks deltas of this run alone, so a Lab
+	// running suites back to back gets per-run numbers, not lifetime ones.
+	var preMetrics obs.Snapshot
+	var spanMark int
+	var runSpan obs.Span
+	if opts.Obs != nil {
+		preMetrics = opts.Obs.Snapshot()
+		spanMark = opts.Obs.SpanMark()
+		ctx = obs.NewContext(ctx, opts.Obs)
+		ctx, runSpan = obs.Begin(ctx, "run")
 	}
 
 	env := Envelope{
@@ -324,6 +373,12 @@ func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w 
 		env.LBGraph.Evictions = buildAfter.Evictions - buildBefore.Evictions
 		env.LBGraph.Entries = buildAfter.Entries
 	}
+	if opts.Obs != nil {
+		runSpan.End()
+		delta := opts.Obs.Snapshot().DeltaSince(preMetrics)
+		env.Metrics = &delta
+		env.Spans = opts.Obs.SpanStatsSince(spanMark)
+	}
 
 	var failures []string
 	for _, r := range env.Experiments {
@@ -368,6 +423,9 @@ func runOne(ctx context.Context, e experiments.Experiment, sched *experiments.Sc
 		fmt.Fprintf(buf, "**FAILED**: %v\n\n", err)
 		return cache.Stats{}
 	}
+	var esp obs.Span
+	ctx, esp = obs.Begin(ctx, "experiment:"+e.ID)
+	defer esp.End()
 	sess := cache.NewSession(opts.SolveCache, opts.SolverWorkers).WithContext(ctx)
 	var bsess *lbgraph.CacheSession
 	if opts.UncachedBuilds {

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"runtime"
 	"sync"
 
@@ -28,8 +29,26 @@ import (
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
 	"congestlb/internal/mis/cache"
+	"congestlb/internal/obs"
 	"congestlb/internal/runner"
 )
+
+// ProgressEvent is one incumbent improvement streamed from an exact
+// solve (see WithObserver and Lab.WatchSolve).
+type ProgressEvent = obs.ProgressEvent
+
+// ProgressObserver receives incumbent improvements; ObserverFunc adapts
+// a plain function to it.
+type ProgressObserver = obs.ProgressObserver
+type ObserverFunc = obs.ObserverFunc
+
+// MetricsSnapshot is a point-in-time copy of a Lab's metrics registry
+// (Lab.Metrics); SpanStat summarises completed spans by name. Both also
+// appear in the v6 experiment envelope.
+type MetricsSnapshot = obs.Snapshot
+
+// SpanStat aggregates completed spans sharing a name.
+type SpanStat = obs.SpanStat
 
 // Experiment is one registered reproduction experiment (see RunExperiments
 // and cmd/experiments).
@@ -80,6 +99,16 @@ type Lab struct {
 	// agree with it, exactly as the deprecated SetSolverWorkers did.
 	def bool
 
+	// reg is the Lab's metrics registry (nil unless WithMetrics): the
+	// solve/build caches, scheduler, engines and spans all record into
+	// it. progress is the observer every solve session fires on incumbent
+	// improvements — the WithObserver callback teed with the registry's
+	// incumbent bookkeeping; nil when neither is configured, which is the
+	// branch-cheap hot-path default. Both are set at New and never
+	// mutated, so they are read without the mutex.
+	reg      *obs.Registry
+	progress obs.ProgressObserver
+
 	mu            sync.Mutex
 	idle          *sync.Cond // signalled when active drops to zero
 	workers       int
@@ -101,6 +130,8 @@ type labConfig struct {
 	memEntries int
 	cacheDir   string
 	buildCache bool
+	metrics    bool
+	observer   obs.ProgressObserver
 }
 
 // Option configures a Lab at construction time.
@@ -152,6 +183,30 @@ func WithJobs(n int) Option {
 	}
 }
 
+// WithMetrics attaches a per-Lab metrics registry (off by default).
+// When on, the Lab's solve and build caches, its scheduler, the CONGEST
+// engines and the exact solvers record counters, gauges, bounded
+// histograms and spans into it; Lab.Metrics snapshots it,
+// Lab.MetricsHandler serves it over HTTP, and RunExperiments embeds the
+// per-run delta in the envelope (schema v6). Observability is
+// non-perturbing: reports, solutions and determinism guarantees are
+// byte-identical with it on or off. When off (the default) every
+// recording site short-circuits on a nil handle, so the hot paths pay
+// nothing. See docs/observability.md.
+func WithMetrics(on bool) Option {
+	return func(c *labConfig) { c.metrics = on }
+}
+
+// WithObserver streams every incumbent improvement of every exact solve
+// the Lab runs (both solver engines fire it; strict improvements only)
+// to o. The observer must be safe for concurrent use and return
+// quickly — it runs inline in the solver's search loop. For a
+// per-solve, strictly-monotone stream with a termination marker, use
+// Lab.WatchSolve instead.
+func WithObserver(o ProgressObserver) Option {
+	return func(c *labConfig) { c.observer = o }
+}
+
 // New creates an isolated Lab from the given options. The returned Lab
 // shares no mutable state with any other Lab or with the deprecated
 // package-level API; callers that use RunExperiments should Close it when
@@ -171,6 +226,14 @@ func New(opts ...Option) (*Lab, error) {
 	} else {
 		l.buildCacheOff = true
 	}
+	if cfg.metrics {
+		l.reg = obs.NewRegistry()
+		l.solve.SetRegistry(l.reg)
+		if l.builds != nil {
+			l.builds.SetRegistry(l.reg)
+		}
+	}
+	l.progress = obs.Tee(cfg.observer, l.reg.IncumbentObserver())
 	if cfg.cacheDir != "" {
 		if err := l.solve.SetDir(cfg.cacheDir, 0); err != nil {
 			return nil, fmt.Errorf("congestlb: solve cache dir: %w", err)
@@ -219,9 +282,22 @@ func (l *Lab) buildCache() *lbgraph.BuildCache {
 }
 
 // solveSession builds a ctx-bound attributed session over the Lab's solve
-// cache, stamping the Lab's solver-worker default onto solves.
+// cache, stamping the Lab's solver-worker default onto solves. On an
+// observed Lab the context carries the registry (so solves open spans
+// and record latency) and the session's solves fire the Lab's progress
+// observer.
 func (l *Lab) solveSession(ctx context.Context) *cache.Session {
-	return cache.NewSession(l.solve, l.sessionWorkers()).WithContext(ctx)
+	if l.reg != nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx = obs.NewContext(ctx, l.reg)
+	}
+	s := cache.NewSession(l.solve, l.sessionWorkers()).WithContext(ctx)
+	if l.progress != nil {
+		s = s.WithProgress(l.progress)
+	}
+	return s
 }
 
 // sessionWorkers is the worker count stamped onto session solves: the
@@ -319,6 +395,23 @@ func (l *Lab) BuildCacheStats() BuildCacheStats {
 	return c.Stats()
 }
 
+// Metrics snapshots the Lab's metrics registry: every counter, gauge
+// and histogram its caches, scheduler, engines and solvers have
+// recorded so far. On a Lab without WithMetrics the snapshot is empty.
+// Values are cumulative over the Lab's lifetime; diff two snapshots
+// (MetricsSnapshot.DeltaSince) to scope a window.
+func (l *Lab) Metrics() MetricsSnapshot { return l.reg.Snapshot() }
+
+// SpanStats summarises the spans the Lab has completed since the
+// beginning of its lifetime, by name (nil without WithMetrics).
+func (l *Lab) SpanStats() []SpanStat { return l.reg.SpanStatsSince(0) }
+
+// MetricsHandler returns an HTTP handler exposing the Lab's registry —
+// Prometheus text at /metrics, JSON snapshots at /metrics.json and
+// /spans.json, and the pprof profiles under /debug/pprof/ — or nil on a
+// Lab without WithMetrics. cmd/experiments serves it via -metrics-addr.
+func (l *Lab) MetricsHandler() http.Handler { return obs.Handler(l.reg) }
+
 // SetBuildCacheEnabled switches the Lab's build cache on or off and
 // returns the previous setting. On the default Lab this is the
 // process-wide lbgraph switch, preserving the deprecated global's scope.
@@ -332,6 +425,7 @@ func (l *Lab) SetBuildCacheEnabled(on bool) bool {
 	l.buildCacheOff = !on
 	if on && l.builds == nil {
 		l.builds = lbgraph.NewBuildCache(0)
+		l.builds.SetRegistry(l.reg)
 	}
 	return prev
 }
@@ -423,10 +517,15 @@ func (l *Lab) RunReduction(ctx context.Context, fam Family, in Inputs, cfg Conge
 // round counts.
 //
 // Unlike RunReduction, the per-report SolveCacheHits/Misses stay zero:
-// the batch interleaves every instance's solves through one session, so
-// the counters cannot be attributed to a single report. The traffic
-// still books against the Lab — SolveCacheStats observes it — just not
-// per input.
+// the batch interleaves every instance's solves through one lockstep
+// pass, so the counters cannot be attributed to a single report. The
+// traffic is still fully visible at *batch* granularity: diff
+// SolveCacheStats across the call, or on a WithMetrics Lab diff
+// Lab.Metrics — the solve_cache_hits/solve_cache_misses counter deltas
+// over the call window are exactly this batch's lookups (plus, on the
+// snapshot, solve latency and step histograms the legacy counters never
+// had). Per-input attribution is the one thing the lockstep fusion
+// gives up.
 func (l *Lab) RunReductionBatch(ctx context.Context, fam Family, ins []Inputs, cfg CongestConfig) ([]SimulationReport, []error, BatchStats) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -505,6 +604,27 @@ func (l *Lab) ExactMaxIS(ctx context.Context, inst Instance) (Solution, error) {
 	return l.solveSession(ctx).Exact(inst.Graph, SolverOptions{CliqueCover: inst.CliqueCover})
 }
 
+// WatchSolve is ExactMaxIS with a live progress stream: every incumbent
+// improvement the exact solve finds is delivered to o as a
+// strictly weight-increasing sequence (a monotonic guard serialises and
+// filters the engines' raw events), followed by exactly one Final event
+// carrying the returned solution's weight — even when the solve was
+// answered from cache and no engine ever ran, and even when ctx
+// cancellation cut the search short (the Final event then carries the
+// best incumbent, mirroring the returned Solution). The Lab's
+// WithObserver callback and metrics registry, if any, observe the same
+// solve too. A nil o degenerates to ExactMaxIS.
+func (l *Lab) WatchSolve(ctx context.Context, inst Instance, o ProgressObserver) (Solution, error) {
+	if o == nil {
+		return l.ExactMaxIS(ctx, inst)
+	}
+	guard := obs.NewMonotonic(o)
+	sess := l.solveSession(ctx).WithProgress(obs.Tee(guard, l.progress))
+	sol, err := sess.Exact(inst.Graph, SolverOptions{CliqueCover: inst.CliqueCover})
+	guard.Finish(sol.Weight, sol.Steps)
+	return sol, err
+}
+
 // ExactMaxISGraph solves an arbitrary graph exactly (greedy clique cover)
 // through this Lab's solve cache, with the same cancellation contract as
 // ExactMaxIS.
@@ -563,6 +683,9 @@ func (l *Lab) beginRun() (sched *experiments.Scheduler, builds *lbgraph.BuildCac
 			jobs = runtime.GOMAXPROCS(0)
 		}
 		l.sched = experiments.NewScheduler(jobs)
+		if l.reg != nil {
+			l.sched.SetRegistry(l.reg)
+		}
 	}
 	l.active++
 	return l.sched, l.builds, l.buildCacheOff, nil
@@ -601,6 +724,7 @@ func (l *Lab) RunExperiments(ctx context.Context, ids []string, w io.Writer) (Ex
 		BuildCache:     builds,
 		UncachedBuilds: uncached,
 		Scheduler:      sched,
+		Obs:            l.reg,
 	}, w)
 }
 

@@ -149,9 +149,9 @@ func TestTwoLabsConcurrentSuite(t *testing.T) {
 		err error
 	}
 	runs := []*labRun{
-		{lab: newTestLab(t, congestlb.WithSolverWorkers(1), congestlb.WithJobs(4),
+		{lab: newTestLab(t, congestlb.WithSolverWorkers(1), congestlb.WithJobs(4), congestlb.WithMetrics(true),
 			congestlb.WithSolveCacheDir(filepath.Join(t.TempDir(), "a")))},
-		{lab: newTestLab(t, congestlb.WithSolverWorkers(2), congestlb.WithJobs(4),
+		{lab: newTestLab(t, congestlb.WithSolverWorkers(2), congestlb.WithJobs(4), congestlb.WithMetrics(true),
 			congestlb.WithSolveCacheDir(filepath.Join(t.TempDir(), "b")))},
 	}
 	var wg sync.WaitGroup
@@ -209,6 +209,27 @@ func TestTwoLabsConcurrentSuite(t *testing.T) {
 		}
 		if misses == 0 || solved == 0 {
 			t.Fatalf("lab %d saw no cold solver work on a fresh cache: %+v", i, r.env.Cache)
+		}
+		// Per-Lab metrics never cross-contaminate: each registry is fresh
+		// and ran exactly one suite, so its lifetime counters must equal
+		// its own envelope's run delta. Traffic leaking from the
+		// concurrently running other Lab would inflate the registry side
+		// of the equality.
+		snap := r.lab.Metrics()
+		if got, want := snap.Counter("solve_cache_hits"), int64(r.env.Cache.Hits); got != want {
+			t.Fatalf("lab %d registry solve hits %d, envelope %d", i, got, want)
+		}
+		if got, want := snap.Counter("solve_cache_misses"), int64(r.env.Cache.Misses); got != want {
+			t.Fatalf("lab %d registry solve misses %d, envelope %d", i, got, want)
+		}
+		if got, want := snap.Counter("build_cache_hits"), int64(r.env.LBGraph.Hits); got != want {
+			t.Fatalf("lab %d registry build hits %d, envelope %d", i, got, want)
+		}
+		if got, want := snap.Counter("build_cache_misses"), int64(r.env.LBGraph.Misses); got != want {
+			t.Fatalf("lab %d registry build misses %d, envelope %d", i, got, want)
+		}
+		if r.env.Metrics == nil || len(r.env.Spans) == 0 {
+			t.Fatalf("lab %d envelope missing observability blocks", i)
 		}
 	}
 	// Both Labs solved the same suite cold: had they shared a cache, one
