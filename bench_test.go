@@ -17,7 +17,34 @@ import (
 	"congestlb/internal/congestalg"
 	"congestlb/internal/core"
 	"congestlb/internal/experiments"
+	"congestlb/internal/fault"
 )
+
+// BenchmarkFaultOverhead prices the disabled fault layer: every injection
+// point the hot paths now carry (the disk tier's error/corrupt/stall
+// sites, the worker pools' panic sites) collapses to one atomic load and
+// a nil check when no plan is armed. This bench pins that cost so a
+// future "just check a map" regression shows up in the baseline archive.
+func BenchmarkFaultOverhead(b *testing.B) {
+	prev := fault.Set(nil)
+	b.Cleanup(func() { fault.Set(prev) })
+	data := []byte(`{"schema":"congestlb/solve-cache/v1","weight":42}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fault.Should(fault.DiskRead, "bench") {
+			b.Fatal("disabled injector fired")
+		}
+		if err := fault.Err(fault.DiskWrite, "bench", 0); err != nil {
+			b.Fatal(err)
+		}
+		if out := fault.Corrupt("bench", data); len(out) != len(data) {
+			b.Fatal("disabled Corrupt rewrote data")
+		}
+		fault.MaybePanic(fault.SolverPanic, "bench")
+		fault.Stall(fault.DiskSlow, "bench")
+	}
+}
 
 // benchExperiment runs one registered experiment per iteration, failing the
 // bench if its internal assertions fail.
@@ -58,6 +85,7 @@ func BenchmarkExpUpperBounds(b *testing.B) { benchExperiment(b, "upperbounds") }
 func BenchmarkExpAblations(b *testing.B)   { benchExperiment(b, "ablations") }
 func BenchmarkExpDiameter(b *testing.B)    { benchExperiment(b, "diameter") }
 func BenchmarkExpSolver(b *testing.B)      { benchExperiment(b, "solver") }
+
 // BenchmarkExpScaling times the scaling sweep whole (suite — the
 // successor of the old flat BenchmarkExpScaling measurement; benchjson
 // -compare maps the old name onto it) and each sweep point alone, so a

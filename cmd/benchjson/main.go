@@ -21,6 +21,15 @@
 // is how CI asserts that a warm -cache-dir re-run actually skipped
 // branch-and-bound.
 //
+// A v7 envelope additionally carries fault-containment failures blocks
+// (per experiment and run-level); both are printed, and the run-level
+// block must equal the sum of the per-experiment blocks. For chaos runs
+// (cmd/experiments under CONGESTLB_FAULTS), -allow-failed tolerates
+// experiments that finished non-ok — the structural invariants still
+// gate — and -require-failures fails unless the run actually contained
+// at least one fault, so a chaos job that silently ran clean cannot
+// pass.
+//
 // A v6 envelope written by an observed run (cmd/experiments -metrics-addr)
 // carries the run's metrics delta and span summary. When present, both are
 // printed and cross-checked against the envelope's legacy counters — the
@@ -154,7 +163,13 @@ func convert(r io.Reader, w io.Writer) error {
 // requireMetrics, an envelope missing the v6 metrics block fails; with a
 // non-empty scrapeURL, a live /metrics.json snapshot is fetched and
 // cross-checked against the envelope's run delta.
-func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched, requireMetrics bool, scrapeURL string) error {
+//
+// allowFailed is the chaos-CI switch: failed experiments are reported but
+// do not fail the check — the structural invariants (failure counts,
+// failures-block sums, metric consistency) still gate. requireFailures
+// fails unless the run-level failures block is present and non-zero, the
+// assertion that a chaos run actually injected something.
+func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched, requireMetrics, allowFailed, requireFailures bool, scrapeURL string) error {
 	var env runner.Envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return fmt.Errorf("benchjson: envelope: %w", err)
@@ -173,6 +188,7 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched, re
 		env.Batch.BatchedInstances, env.Batch.BatchJobs)
 	var failed []string
 	cancelled := 0
+	var failureSum runner.FailureStats
 	for _, e := range env.Experiments {
 		status := e.Status
 		if e.Cancelled {
@@ -182,9 +198,30 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched, re
 		fmt.Fprintf(w, "  %-12s %-6s %8.1f ms  %10d steps  %d hit / %d miss  %d builds (%d hit)  %d instance jobs  %d batched\n",
 			e.ID, status, e.WallMS, e.SolveSteps, e.CacheHits, e.CacheMisses,
 			e.LBGraphHits+e.LBGraphMisses, e.LBGraphHits, e.InstanceJobs, e.BatchedInstances)
+		if e.Failures != nil {
+			fmt.Fprintf(w, "  %-12s failures: %s\n", "", failureLine(*e.Failures))
+			failureSum.Add(*e.Failures)
+		}
 		if e.Status != runner.StatusOK {
 			failed = append(failed, fmt.Sprintf("%s: %s", e.ID, e.Error))
 		}
+	}
+	// The run-level failures block must be exactly the sum of the
+	// per-experiment blocks — both directions: a run block with no
+	// per-experiment backing is as wrong as a missing run block.
+	runFailures := runner.FailureStats{}
+	if env.Failures != nil {
+		runFailures = *env.Failures
+	}
+	if runFailures != failureSum {
+		return fmt.Errorf("benchjson: run-level failures block %+v does not sum the per-experiment blocks %+v",
+			runFailures, failureSum)
+	}
+	if env.Failures != nil {
+		fmt.Fprintf(w, "failures (run): %s\n", failureLine(*env.Failures))
+	}
+	if requireFailures && !runFailures.Any() {
+		return fmt.Errorf("benchjson: run reported no contained failures (chaos run expected)")
 	}
 	if env.Failed != len(failed) {
 		return fmt.Errorf("benchjson: envelope claims %d failure(s) but lists %d", env.Failed, len(failed))
@@ -201,8 +238,11 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched, re
 		return fmt.Errorf("benchjson: envelope batch block %d/%d does not sum the per-experiment counters %d/%d",
 			env.Batch.BatchJobs, env.Batch.BatchedInstances, batchJobs, batchedInstances)
 	}
-	if len(failed) > 0 {
+	if len(failed) > 0 && !allowFailed {
 		return fmt.Errorf("benchjson: %d experiment(s) not ok:\n  %s", len(failed), strings.Join(failed, "\n  "))
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(w, "%d failed experiment(s) tolerated (-allow-failed)\n", len(failed))
 	}
 	if requireDiskHits && env.Cache.DiskHits == 0 {
 		return fmt.Errorf("benchjson: run reported no disk-tier hits (warm cache expected)")
@@ -227,6 +267,12 @@ func checkEnvelope(r io.Reader, w io.Writer, requireDiskHits, requireBatched, re
 		}
 	}
 	return nil
+}
+
+// failureLine renders a FailureStats block on one line.
+func failureLine(f runner.FailureStats) string {
+	return fmt.Sprintf("%d panic(s) recovered, %d solver worker panic(s), %d degraded solve(s), %d disk retry(ies), %d quarantined",
+		f.PanicsRecovered, f.SolverWorkerPanics, f.DegradedSolves, f.DiskRetries, f.DiskQuarantined)
 }
 
 // checkMetrics prints the v6 metrics/span block and enforces its
@@ -263,6 +309,13 @@ func checkMetrics(env runner.Envelope, w io.Writer) error {
 		{obs.MSolveCacheMisses, m.Counter(obs.MSolveCacheMisses), int64(env.Cache.Misses)},
 		{obs.MBatchPasses, m.Counter(obs.MBatchPasses), env.Batch.BatchJobs},
 		{obs.MBatchInstances, m.Counter(obs.MBatchInstances), env.Batch.BatchedInstances},
+		// The fault-containment counters are booked at the same sites the
+		// cache stats are, so equality is exact. (sched_job_panics has no
+		// envelope twin: the envelope counts body panics the scheduler
+		// never sees, so the two are deliberately not cross-checked.)
+		{obs.MSolveCacheDiskRetries, m.Counter(obs.MSolveCacheDiskRetries), int64(env.Cache.DiskRetries)},
+		{obs.MSolveCacheDiskQuarantined, m.Counter(obs.MSolveCacheDiskQuarantined), int64(env.Cache.DiskQuarantined)},
+		{obs.MSolverWorkerPanics, m.Counter(obs.MSolverWorkerPanics), int64(env.Cache.WorkerPanics)},
 	}
 	if m.Counter(obs.MBuildCacheHits)+m.Counter(obs.MBuildCacheMisses) > 0 {
 		checks = append(checks,
@@ -410,6 +463,8 @@ func main() {
 	requireDiskHits := flag.Bool("require-disk-hits", false, "with -experiments: fail unless the run served at least one solve from the disk tier")
 	requireBatched := flag.Bool("require-batched", false, "with -experiments: fail unless the run batched at least one simulation instance")
 	requireMetrics := flag.Bool("require-metrics", false, "with -experiments: fail unless the envelope carries the v6 metrics block")
+	allowFailed := flag.Bool("allow-failed", false, "with -experiments: tolerate failed experiments (chaos runs); structural invariants still gate")
+	requireFailures := flag.Bool("require-failures", false, "with -experiments: fail unless the run-level failures block is present and non-zero")
 	scrape := flag.String("scrape", "", "with -experiments: fetch this /metrics.json URL and verify the live counters cover the envelope's delta")
 	compare := flag.Bool("compare", false, "compare two baseline files (old.json new.json) and fail on regressions beyond -threshold")
 	threshold := flag.Float64("threshold", 0.25, "with -compare: allowed ns/op and B/op growth as a fraction (0.25 = +25%)")
@@ -445,7 +500,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := checkEnvelope(f, w, *requireDiskHits, *requireBatched, *requireMetrics, *scrape); err != nil {
+		if err := checkEnvelope(f, w, *requireDiskHits, *requireBatched, *requireMetrics, *allowFailed, *requireFailures, *scrape); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -91,7 +91,7 @@ func TestCheckEnvelopeOK(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -113,7 +113,7 @@ func TestCheckEnvelopeFailsOnNonOK(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, "")
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, "")
 	if err == nil {
 		t.Fatal("failed experiment accepted")
 	}
@@ -129,11 +129,11 @@ func TestCheckEnvelopeRequireDiskHits(t *testing.T) {
 		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false, false, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false, false, false, false, ""); err == nil {
 		t.Fatal("cold run accepted with -require-disk-hits")
 	}
 	env.Cache.DiskHits = 3
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false, false, ""); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, true, false, false, false, false, ""); err != nil {
 		t.Fatalf("warm run rejected: %v", err)
 	}
 }
@@ -253,10 +253,10 @@ func TestCompareBaselinesBadInput(t *testing.T) {
 
 func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader("not json"), &buf, false, false, false, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader("not json"), &buf, false, false, false, false, false, ""); err == nil {
 		t.Fatal("garbage accepted")
 	}
-	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf, false, false, false, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader(`{"schema":"something/else"}`), &buf, false, false, false, false, false, ""); err == nil {
 		t.Fatal("wrong schema accepted")
 	}
 	// An envelope whose summary counters disagree with its records is
@@ -266,8 +266,68 @@ func TestCheckEnvelopeRejectsGarbage(t *testing.T) {
 		Failed:      1,
 		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, ""); err == nil {
 		t.Fatal("inconsistent envelope accepted")
+	}
+}
+
+// TestCheckEnvelopeFailures: the v7 failures blocks are printed, the
+// run-level block must sum the per-experiment blocks exactly, and the
+// chaos flags behave: -allow-failed tolerates non-ok experiments while
+// -require-failures rejects a run that contained nothing.
+func TestCheckEnvelopeFailures(t *testing.T) {
+	env := runner.Envelope{
+		Schema: runner.Schema,
+		OK:     1,
+		Failed: 1,
+		Experiments: []runner.ExperimentResult{
+			{ID: "figure1", Status: runner.StatusOK,
+				Failures: &runner.FailureStats{DiskRetries: 2}},
+			{ID: "scaling", Status: runner.StatusFailed, Error: "panic in job",
+				Failures: &runner.FailureStats{PanicsRecovered: 1, SolverWorkerPanics: 1}},
+		},
+		Failures: &runner.FailureStats{PanicsRecovered: 1, SolverWorkerPanics: 1, DiskRetries: 2},
+	}
+	var buf bytes.Buffer
+	// Without -allow-failed the failed experiment still gates.
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, ""); err == nil {
+		t.Fatal("failed experiment accepted without -allow-failed")
+	}
+	buf.Reset()
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, true, true, ""); err != nil {
+		t.Fatalf("chaos envelope rejected: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"failures (run):", "1 panic(s) recovered", "2 disk retry(ies)", "tolerated"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	// A run-level block that does not sum the per-experiment blocks is
+	// corrupt in either direction.
+	short := env
+	short.Failures = &runner.FailureStats{PanicsRecovered: 1}
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, short)), &buf, false, false, false, true, false, ""); err == nil {
+		t.Fatal("short run-level failures block accepted")
+	}
+	missing := env
+	missing.Failures = nil
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, missing)), &buf, false, false, false, true, false, ""); err == nil {
+		t.Fatal("missing run-level failures block accepted")
+	}
+
+	// -require-failures rejects a clean run.
+	clean := runner.Envelope{
+		Schema:      runner.Schema,
+		OK:          1,
+		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
+	}
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, clean)), &buf, false, false, false, false, true, ""); err == nil {
+		t.Fatal("clean run accepted with -require-failures")
+	}
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, clean)), &buf, false, false, false, false, false, ""); err != nil {
+		t.Fatalf("clean run rejected without -require-failures: %v", err)
 	}
 }
 
@@ -360,7 +420,7 @@ func observedEnvelope() runner.Envelope {
 func TestCheckEnvelopeMetrics(t *testing.T) {
 	var buf bytes.Buffer
 	env := observedEnvelope()
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, true, ""); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, true, false, false, ""); err != nil {
 		t.Fatalf("consistent observed envelope rejected: %v", err)
 	}
 	out := buf.String()
@@ -374,14 +434,14 @@ func TestCheckEnvelopeMetrics(t *testing.T) {
 	// is corruption: the two instrument the same code paths.
 	env = observedEnvelope()
 	env.Metrics.Counters[obs.MSolveCacheMisses] = 99
-	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, "")
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, "")
 	if err == nil || !strings.Contains(err.Error(), obs.MSolveCacheMisses) {
 		t.Fatalf("metrics/legacy disagreement not flagged: %v", err)
 	}
 
 	env = observedEnvelope()
 	env.Metrics.Counters[obs.MBatchPasses] = 7
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, ""); err == nil {
 		t.Fatal("batch-pass disagreement accepted")
 	}
 
@@ -390,7 +450,7 @@ func TestCheckEnvelopeMetrics(t *testing.T) {
 	env = observedEnvelope()
 	delete(env.Metrics.Counters, obs.MBuildCacheHits)
 	delete(env.Metrics.Counters, obs.MBuildCacheMisses)
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, ""); err != nil {
 		t.Fatalf("bypass-build envelope rejected: %v", err)
 	}
 
@@ -398,17 +458,17 @@ func TestCheckEnvelopeMetrics(t *testing.T) {
 	// records.
 	env = observedEnvelope()
 	env.Spans = nil
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, ""); err == nil {
 		t.Fatal("span-free observed envelope accepted")
 	}
 
 	// -require-metrics gates unobserved runs; without it they pass.
 	plain := observedEnvelope()
 	plain.Metrics, plain.Spans = nil, nil
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, true, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, true, false, false, ""); err == nil {
 		t.Fatal("unobserved run accepted with -require-metrics")
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, false, ""); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, false, false, false, ""); err != nil {
 		t.Fatalf("unobserved run rejected without the flag: %v", err)
 	}
 }
@@ -428,7 +488,7 @@ func TestCheckEnvelopeScrape(t *testing.T) {
 	defer srv.Close()
 
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, srv.URL); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, srv.URL); err != nil {
 		t.Fatalf("covering scrape rejected: %v", err)
 	}
 	if !strings.Contains(buf.String(), "covered") {
@@ -436,20 +496,20 @@ func TestCheckEnvelopeScrape(t *testing.T) {
 	}
 
 	live.Counters[obs.MSolveCacheMisses] = 0 // scraped registry can't have seen less
-	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, srv.URL)
+	err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, srv.URL)
 	if err == nil || !strings.Contains(err.Error(), "misses") {
 		t.Fatalf("short scrape not flagged: %v", err)
 	}
 
 	srv.Close()
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, srv.URL); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, srv.URL); err == nil {
 		t.Fatal("dead endpoint accepted")
 	}
 
 	// -scrape against an unobserved envelope has nothing to compare.
 	plain := observedEnvelope()
 	plain.Metrics, plain.Spans = nil, nil
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, false, srv.URL); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, plain)), &buf, false, false, false, false, false, srv.URL); err == nil {
 		t.Fatal("-scrape accepted an envelope without metrics")
 	}
 }
@@ -467,7 +527,7 @@ func TestCheckEnvelopeBatch(t *testing.T) {
 		},
 	}
 	var buf bytes.Buffer
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, true, false, ""); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, true, false, false, false, ""); err != nil {
 		t.Fatalf("batched envelope rejected: %v", err)
 	}
 	if !strings.Contains(buf.String(), "7 instance(s) over 2 lockstep pass(es)") {
@@ -475,7 +535,7 @@ func TestCheckEnvelopeBatch(t *testing.T) {
 	}
 
 	env.Batch.BatchedInstances = 6 // disagree with the records
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, env)), &buf, false, false, false, false, false, ""); err == nil {
 		t.Fatal("inconsistent batch block accepted")
 	}
 
@@ -484,10 +544,10 @@ func TestCheckEnvelopeBatch(t *testing.T) {
 		OK:          1,
 		Experiments: []runner.ExperimentResult{{ID: "cutsize", Status: runner.StatusOK}},
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, true, false, ""); err == nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, true, false, false, false, ""); err == nil {
 		t.Fatal("unbatched run accepted with -require-batched")
 	}
-	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, false, false, ""); err != nil {
+	if err := checkEnvelope(strings.NewReader(envelopeJSON(t, unbatched)), &buf, false, false, false, false, false, ""); err != nil {
 		t.Fatalf("unbatched run rejected without the flag: %v", err)
 	}
 }

@@ -41,12 +41,19 @@
 // (and the process) alive for the given extra duration after the run —
 // CI's smoke test scrapes the final counters through it.
 //
-// -json writes the structured result envelope (schema v6) — one record
+// -json writes the structured result envelope (schema v7) — one record
 // per experiment with status, wall time, cancellation flag, instance-job
 // count, exactly-attributed solver steps, solve-cache and build-cache
-// statistics, plus run-level disk-tier and build-cache traffic and, with
-// -metrics-addr, the run's metrics delta and span summary — which
-// cmd/benchjson -experiments validates and CI archives.
+// statistics and a failures block when faults were contained, plus
+// run-level disk-tier and build-cache traffic and, with -metrics-addr,
+// the run's metrics delta and span summary — which cmd/benchjson
+// -experiments validates and CI archives.
+//
+// Setting CONGESTLB_FAULTS="<seed>:<plan>" arms the deterministic
+// fault-injection layer for the run (chaos testing; see
+// docs/robustness.md). Contained faults surface in the report's FAILED
+// lines and the envelope's failures blocks; a malformed spec aborts the
+// run before any experiment starts.
 package main
 
 import (
@@ -90,6 +97,17 @@ func run(args []string, stdout io.Writer) error {
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Chaos harness: a fault-injection spec in CONGESTLB_FAULTS arms the
+	// deterministic fault layer for the whole run (see docs/robustness.md).
+	// A malformed spec is a hard error — a chaos run that silently ran
+	// clean would pass for a real one.
+	if spec := os.Getenv(congestlb.FaultEnv); spec != "" {
+		if err := congestlb.EnableFaults(spec); err != nil {
+			return fmt.Errorf("%s: %w", congestlb.FaultEnv, err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: fault injection armed: %s\n", spec)
 	}
 
 	// Profiling wraps everything below through defers, so the profiles

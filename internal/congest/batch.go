@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"congestlb/internal/fault"
 	"congestlb/internal/graphs"
 	"congestlb/internal/obs"
 )
@@ -204,7 +205,7 @@ func RunBatch(ctx context.Context, items []BatchItem) ([]Result, []error, BatchS
 			if inst == nil {
 				continue
 			}
-			finished, err := inst.stepRound(round, &stamp)
+			finished, err := stepRoundSafe(inst, i, round, &stamp)
 			if err != nil {
 				errs[i] = err
 				insts[i] = nil
@@ -225,6 +226,22 @@ func RunBatch(ctx context.Context, items []BatchItem) ([]Result, []error, BatchS
 	}
 	bm.recordBatch(bstats)
 	return results, errs, bstats
+}
+
+// stepRoundSafe is stepRound with panic containment: a panicking node
+// program drops only its own instance out of the lockstep pass (the
+// per-instance error contract RunBatch already has for validation
+// failures) while the sibling instances keep stepping. The instance slabs
+// are per-instance, so a half-stepped panicked instance cannot corrupt
+// its neighbours.
+func stepRoundSafe(b *batchInst, i, round int, stamp *int64) (finished bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			finished = false
+			err = fault.NewPanicError(fmt.Sprintf("batch instance %d (round %d)", i, round), r)
+		}
+	}()
+	return b.stepRound(round, stamp)
 }
 
 // stepRound advances the instance by one round, mirroring the sequential

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"congestlb/internal/fault"
 )
 
 // The pipelined engine: the round loop split into a compute stage (node
@@ -238,15 +240,31 @@ func (p *pipeline) hookPass(hook MessageHook, round int) error {
 
 func (p *pipeline) worker(w int) {
 	defer p.exit.Done()
-	lo, hi := p.bounds[w], p.bounds[w+1]
 	for cmd := range p.cmds[w] {
-		if cmd.deliver {
-			p.deliverRange(w, lo, hi, cmd.round-1)
+		p.step(w, cmd)
+	}
+}
+
+// step runs one fused deliver/compute command with panic containment: a
+// panicking node program fails this worker's range (p.errs[w], surfaced
+// by firstError like any program error) instead of killing the process.
+// Deferred registration order matters — the recover handler is deferred
+// after barrier.Done, so it runs first (LIFO) and the barrier is always
+// released, panicking or not; the run then shuts down through the normal
+// error path with the pipeline's channels still drained.
+func (p *pipeline) step(w int, cmd pipeCmd) {
+	lo, hi := p.bounds[w], p.bounds[w+1]
+	defer p.barrier.Done()
+	defer func() {
+		if r := recover(); r != nil && p.errs[w] == nil {
+			p.errs[w] = fault.NewPanicError(fmt.Sprintf("pipeline worker %d (nodes %d-%d, round %d)", w, lo, hi-1, cmd.round), r)
 		}
-		if cmd.compute {
-			p.computeRange(w, lo, hi, cmd.round)
-		}
-		p.barrier.Done()
+	}()
+	if cmd.deliver {
+		p.deliverRange(w, lo, hi, cmd.round-1)
+	}
+	if cmd.compute {
+		p.computeRange(w, lo, hi, cmd.round)
 	}
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -10,6 +11,7 @@ import (
 	"congestlb/internal/bitvec"
 	"congestlb/internal/congest"
 	"congestlb/internal/core"
+	"congestlb/internal/fault"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis/cache"
 	"congestlb/internal/obs"
@@ -88,10 +90,28 @@ func (j *instanceJob) claim() bool {
 		// popped (and discarded) by a worker later.
 		j.om.wait.Observe(time.Now().UnixNano() - j.enqNS)
 	}
-	j.err = j.fn()
+	j.err = j.run()
 	j.state.Store(jobDone)
 	close(j.done)
 	return true
+}
+
+// run executes the job's function with panic containment: a panicking
+// job fails with a *fault.PanicError instead of killing the pool worker
+// (or gatherer) that happened to claim it. This is the scheduler's half
+// of the Lab-wide fault-isolation contract — a tenant's panic must never
+// take down the shared pool.
+func (j *instanceJob) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fault.NewPanicError("job", r)
+			if j.om != nil {
+				j.om.panics.Inc()
+			}
+		}
+	}()
+	fault.Stall(fault.WorkerStall, "sched")
+	return j.fn()
 }
 
 // Scheduler is the shared worker pool that executes experiment-level jobs
@@ -121,9 +141,10 @@ type Scheduler struct {
 // and the wait histogram records enqueue→claim latency — the admission
 // signal the planned congestlbd service needs.
 type schedMetrics struct {
-	depth *obs.Gauge
-	jobs  *obs.Counter
-	wait  *obs.Histogram
+	depth  *obs.Gauge
+	jobs   *obs.Counter
+	wait   *obs.Histogram
+	panics *obs.Counter
 }
 
 // SetRegistry attaches (or with nil detaches) an observability
@@ -135,9 +156,10 @@ func (s *Scheduler) SetRegistry(r *obs.Registry) {
 		return
 	}
 	s.om.Store(&schedMetrics{
-		depth: r.Gauge(obs.MSchedQueueDepth),
-		jobs:  r.Counter(obs.MSchedJobs),
-		wait:  r.Histogram(obs.MSchedJobWaitNS),
+		depth:  r.Gauge(obs.MSchedQueueDepth),
+		jobs:   r.Counter(obs.MSchedJobs),
+		wait:   r.Histogram(obs.MSchedJobWaitNS),
+		panics: r.Counter(obs.MSchedJobPanics),
 	})
 }
 
@@ -283,6 +305,10 @@ type Ctx struct {
 	sched   *Scheduler
 	pending []*instanceJob
 	jobs    int64
+	// panics counts gathered jobs that failed with a recovered panic
+	// (*fault.PanicError) — the per-experiment attribution the runner's
+	// envelope failures block reports.
+	panics int64
 	// batchJobs/batchedInstances count the lockstep batch passes this run
 	// submitted (through GoBatch or NoteBatch) and the simulation
 	// instances they carried — the envelope's batch accounting.
@@ -371,8 +397,11 @@ func (w *Ctx) Go(fn func() error) {
 		}
 	}
 	if w.sched == nil {
+		// Inline mode runs through the same containment wrapper as the
+		// pool path, so a panicking job produces the identical
+		// *fault.PanicError (and FAILED report line) at any -jobs count.
 		j := &instanceJob{fn: run}
-		j.err = run()
+		j.err = j.run()
 		j.state.Store(jobDone)
 		w.pending = append(w.pending, j)
 		return
@@ -401,13 +430,24 @@ func (w *Ctx) Gather() error {
 	}
 	var first error
 	for _, j := range w.pending {
-		if first == nil && j.err != nil {
-			first = j.err
+		if j.err != nil {
+			var pe *fault.PanicError
+			if errors.As(j.err, &pe) {
+				w.panics++
+			}
+			if first == nil {
+				first = j.err
+			}
 		}
 	}
 	w.pending = w.pending[:0]
 	return first
 }
+
+// PanicsRecovered reports how many of this context's gathered jobs failed
+// with a recovered panic (*fault.PanicError) over the context's lifetime —
+// the runner copies it into the envelope's per-experiment failures block.
+func (w *Ctx) PanicsRecovered() int64 { return w.panics }
 
 // InstanceJobs reports how many jobs Go has submitted over the context's
 // lifetime — the per-instance count the runner records in the envelope.

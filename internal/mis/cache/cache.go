@@ -35,10 +35,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"congestlb/internal/fault"
 	"congestlb/internal/graphs"
 	"congestlb/internal/mis"
 	"congestlb/internal/obs"
 )
+
+// isPanicError reports whether err carries a recovered solver panic
+// (*fault.PanicError) — the marker of a degraded solve.
+func isPanicError(err error) bool {
+	var pe *fault.PanicError
+	return errors.As(err, &pe)
+}
 
 // Key is the canonical content hash of one solve: graph structure, node
 // weights, clique cover and step budget.
@@ -78,6 +86,18 @@ type Stats struct {
 	// the tier's size bound deleted.
 	DiskWrites    uint64 `json:"disk_writes,omitempty"`
 	DiskEvictions uint64 `json:"disk_evictions,omitempty"`
+
+	// Fault-containment accounting (see docs/robustness.md). DiskRetries
+	// counts disk-tier I/O attempts retried after transient errors;
+	// DiskQuarantined counts invalid entries moved to the quarantine
+	// sidecar. WorkerPanics counts solver-worker panics recovered inside
+	// fresh solves; DegradedSolves counts fresh solves that lost every
+	// worker and fell back to the incumbent (surfaced as an error, so
+	// degraded results are never cached).
+	DiskRetries     uint64 `json:"disk_retries,omitempty"`
+	DiskQuarantined uint64 `json:"disk_quarantined,omitempty"`
+	WorkerPanics    uint64 `json:"worker_panics,omitempty"`
+	DegradedSolves  uint64 `json:"degraded_solves,omitempty"`
 }
 
 // entry is one cached (or in-flight) solve. ready is closed once sol/err
@@ -111,10 +131,12 @@ type Cache struct {
 // the registry's solve_cache_* counters sum-consistent with the
 // envelope's legacy cache block.
 type cacheMetrics struct {
-	hits, misses, waits  *obs.Counter
-	diskHits, diskMisses *obs.Counter
-	steps, stepsSaved    *obs.Counter
-	latency, stepsHist   *obs.Histogram
+	hits, misses, waits          *obs.Counter
+	diskHits, diskMisses         *obs.Counter
+	diskRetries, diskQuarantined *obs.Counter
+	workerPanics, degraded       *obs.Counter
+	steps, stepsSaved            *obs.Counter
+	latency, stepsHist           *obs.Histogram
 }
 
 // SetRegistry attaches (or with nil detaches) an observability registry:
@@ -127,15 +149,19 @@ func (c *Cache) SetRegistry(r *obs.Registry) {
 		return
 	}
 	c.om.Store(&cacheMetrics{
-		hits:       r.Counter(obs.MSolveCacheHits),
-		misses:     r.Counter(obs.MSolveCacheMisses),
-		waits:      r.Counter(obs.MSolveCacheWaits),
-		diskHits:   r.Counter(obs.MSolveCacheDiskHits),
-		diskMisses: r.Counter(obs.MSolveCacheDiskMisses),
-		steps:      r.Counter(obs.MSolveSteps),
-		stepsSaved: r.Counter(obs.MSolveStepsSaved),
-		latency:    r.Histogram(obs.MSolveLatencyNS),
-		stepsHist:  r.Histogram(obs.MSolveStepsHist),
+		hits:            r.Counter(obs.MSolveCacheHits),
+		misses:          r.Counter(obs.MSolveCacheMisses),
+		waits:           r.Counter(obs.MSolveCacheWaits),
+		diskHits:        r.Counter(obs.MSolveCacheDiskHits),
+		diskMisses:      r.Counter(obs.MSolveCacheDiskMisses),
+		diskRetries:     r.Counter(obs.MSolveCacheDiskRetries),
+		diskQuarantined: r.Counter(obs.MSolveCacheDiskQuarantined),
+		workerPanics:    r.Counter(obs.MSolverWorkerPanics),
+		degraded:        r.Counter(obs.MSolverDegradedSolves),
+		steps:           r.Counter(obs.MSolveSteps),
+		stepsSaved:      r.Counter(obs.MSolveStepsSaved),
+		latency:         r.Histogram(obs.MSolveLatencyNS),
+		stepsHist:       r.Histogram(obs.MSolveStepsHist),
 	})
 }
 
@@ -312,7 +338,8 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 	var err error
 	fromDisk := false
 	if disk != nil {
-		sol, fromDisk = disk.load(key, g)
+		var dio diskIO
+		sol, fromDisk, dio = disk.load(key, g)
 		c.mu.Lock()
 		if fromDisk {
 			c.stats.DiskHits++
@@ -320,6 +347,8 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 		} else {
 			c.stats.DiskMisses++
 		}
+		c.stats.DiskRetries += dio.retries
+		c.stats.DiskQuarantined += dio.quarantined
 		c.mu.Unlock()
 		sess.record(func(st *Stats) {
 			if fromDisk {
@@ -328,6 +357,8 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 			} else {
 				st.DiskMisses++
 			}
+			st.DiskRetries += dio.retries
+			st.DiskQuarantined += dio.quarantined
 		})
 		if m != nil {
 			if fromDisk {
@@ -336,6 +367,8 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 			} else {
 				m.diskMisses.Inc()
 			}
+			m.diskRetries.Add(int64(dio.retries))
+			m.diskQuarantined.Add(int64(dio.quarantined))
 		}
 	}
 	if !fromDisk {
@@ -354,22 +387,59 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 			m.steps.Add(sol.Steps)
 			m.stepsHist.Observe(sol.Steps)
 		}
+		if sol.WorkerPanics > 0 || isPanicError(err) {
+			// Fault containment: attribute recovered worker panics (the
+			// solve still completed canonically on the survivors) and
+			// degraded solves (every worker lost — err is the structured
+			// panic and the incumbent came back) to this caller's session
+			// and the registry. Errors are never cached, so a degraded
+			// solve is retried by the next caller for the key.
+			panics := uint64(sol.WorkerPanics)
+			degraded := uint64(0)
+			if isPanicError(err) {
+				degraded = 1
+			}
+			c.mu.Lock()
+			c.stats.WorkerPanics += panics
+			c.stats.DegradedSolves += degraded
+			c.mu.Unlock()
+			sess.record(func(st *Stats) {
+				st.WorkerPanics += panics
+				st.DegradedSolves += degraded
+			})
+			if m != nil {
+				m.workerPanics.Add(int64(panics))
+				m.degraded.Add(int64(degraded))
+			}
+		}
 		if err == nil && disk != nil {
-			if evicted, werr := disk.store(key, sol); werr == nil {
-				c.mu.Lock()
+			evicted, dio, werr := disk.store(key, sol)
+			c.mu.Lock()
+			if werr == nil {
 				c.stats.DiskWrites++
 				c.stats.DiskEvictions += uint64(evicted)
-				c.mu.Unlock()
-				sess.record(func(st *Stats) {
+			}
+			c.stats.DiskRetries += dio.retries
+			c.mu.Unlock()
+			sess.record(func(st *Stats) {
+				if werr == nil {
 					st.DiskWrites++
 					st.DiskEvictions += uint64(evicted)
-				})
+				}
+				st.DiskRetries += dio.retries
+			})
+			if m != nil {
+				m.diskRetries.Add(int64(dio.retries))
 			}
 		}
 	}
 
 	c.mu.Lock()
-	e.sol, e.err, e.done = sol, err, true
+	cached := sol
+	// Worker panics are attributed to the solve that actually ran them:
+	// later hits (and single-flight waiters) see a clean count.
+	cached.WorkerPanics = 0
+	e.sol, e.err, e.done = cached, err, true
 	if err != nil {
 		// Do not cache failures: drop the entry so later callers retry
 		// (waiters already holding e still observe the error once).

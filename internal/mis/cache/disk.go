@@ -2,13 +2,21 @@
 //
 // Entries are content-addressed by the same SHA-256 canonical hash as the
 // in-memory tier, one JSON file per solve named <hex(key)>.json. Files are
-// written atomically (temp file + rename) so a crashed or concurrent
-// writer can never leave a half-entry that parses; on load every entry is
-// re-validated against the live graph (schema, key, independence, weight),
-// so truncated or garbage files — however they got there — are discarded
-// and fall back to a fresh solve. The tier is size-bounded: when the byte
-// budget is exceeded, least-recently-used entries (by load/store recency,
-// seeded from file mtime at attach time) are deleted.
+// written atomically (temp file + fsync + rename + parent-directory fsync)
+// so a crashed or concurrent writer can never leave a half-entry that
+// parses, and a completed store survives power loss; on load every entry
+// is re-validated against the live graph (schema, key, independence,
+// weight), so truncated or garbage files — however they got there — fall
+// back to a fresh solve. Invalid entries are not deleted but moved into a
+// `quarantine/` sidecar directory (suffixed with the rejection reason) so
+// operators can inspect what corrupted them; transient read/write errors
+// are retried with a short backoff before giving up. Both paths are
+// counted (Stats.DiskQuarantined / Stats.DiskRetries and the matching
+// obs counters). The tier is size-bounded: when the byte budget is
+// exceeded, least-recently-used entries (by load/store recency, seeded
+// from file mtime at attach time) are deleted. Orphaned tmp-* files a
+// crashed writer left behind are swept on attach once they are old
+// enough to be provably dead.
 //
 // The point of the tier is cross-process reuse: a second experiment-suite
 // run, a CI re-run or a benchmark iteration with the same -cache-dir skips
@@ -28,9 +36,36 @@ import (
 	"sync"
 	"time"
 
+	"congestlb/internal/fault"
 	"congestlb/internal/graphs"
 	"congestlb/internal/mis"
 )
+
+const (
+	// diskAttempts bounds how many times a transient read/write error is
+	// tried in total; diskBackoff is the sleep before the first retry,
+	// doubling per attempt. The budget is deliberately tiny — the tier is
+	// an optimisation, so after ~1.5 ms of bad luck the caller re-solves.
+	diskAttempts = 3
+	diskBackoff  = 500 * time.Microsecond
+
+	// quarantineDirName is the sidecar directory (inside the tier
+	// directory) that invalid entries are moved to instead of deleted.
+	quarantineDirName = "quarantine"
+
+	// tmpOrphanAge is how old a tmp-* file must be before the attach-time
+	// sweep deletes it: anything younger may belong to a live writer in
+	// another process racing the attach.
+	tmpOrphanAge = time.Minute
+)
+
+// diskIO accounts one load/store call's fault traffic: how many attempts
+// were retried after transient errors and how many entries were moved to
+// quarantine. The cache layer folds it into Stats and the obs registry.
+type diskIO struct {
+	retries     uint64
+	quarantined uint64
+}
 
 // diskSchema identifies the entry format; bump on incompatible change (old
 // entries then fail validation and are re-solved, never mis-read).
@@ -100,7 +135,19 @@ func newDiskTier(dir string, maxBytes int64) (*diskTier, error) {
 	var found []seen
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasPrefix(name, "tmp-") {
+			// A crashed writer's orphan. Swept only once it is old enough
+			// that no live writer (this process or another sharing the
+			// directory) can still be about to rename it.
+			if info, err := e.Info(); err == nil && time.Since(info.ModTime()) >= tmpOrphanAge {
+				_ = os.Remove(filepath.Join(dir, name))
+			}
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
 			continue
 		}
 		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".json"))
@@ -130,28 +177,51 @@ func (d *diskTier) path(key Key) string {
 
 // load returns the persisted solution for key if a valid entry exists.
 // Anything that fails validation — wrong schema, key mismatch, a set that
-// is not independent in g or whose weight disagrees — is deleted and
+// is not independent in g or whose weight disagrees — is quarantined and
 // reported as a miss, so corruption degrades to a re-solve, never to a
-// wrong answer.
-func (d *diskTier) load(key Key, g *graphs.Graph) (mis.Solution, bool) {
+// wrong answer. Transient read errors are retried (diskAttempts total)
+// before degrading to a miss.
+func (d *diskTier) load(key Key, g *graphs.Graph) (mis.Solution, bool, diskIO) {
+	var io diskIO
 	path := d.path(key)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return mis.Solution{}, false
+	hexKey := hex.EncodeToString(key[:])
+	fault.Stall(fault.DiskSlow, hexKey)
+	var data []byte
+	for attempt := 0; ; attempt++ {
+		err := fault.Err(fault.DiskRead, hexKey, uint64(attempt))
+		if err == nil {
+			data, err = os.ReadFile(path)
+		}
+		if err == nil {
+			break
+		}
+		if os.IsNotExist(err) {
+			return mis.Solution{}, false, io // a plain miss, not a fault
+		}
+		if attempt+1 >= diskAttempts {
+			return mis.Solution{}, false, io
+		}
+		io.retries++
+		time.Sleep(diskBackoff << attempt)
 	}
+	data = fault.Corrupt(hexKey, data)
 	var e diskEntry
 	if err := json.Unmarshal(data, &e); err != nil {
-		d.discard(key, path)
-		return mis.Solution{}, false
+		d.quarantine(key, path, "parse", &io)
+		return mis.Solution{}, false, io
 	}
-	if e.Schema != diskSchema || e.Key != hex.EncodeToString(key[:]) {
-		d.discard(key, path)
-		return mis.Solution{}, false
+	if e.Schema != diskSchema {
+		d.quarantine(key, path, "schema", &io)
+		return mis.Solution{}, false, io
+	}
+	if e.Key != hexKey {
+		d.quarantine(key, path, "impostor", &io)
+		return mis.Solution{}, false, io
 	}
 	weight, err := mis.Verify(g, e.Set)
 	if err != nil || weight != e.Weight {
-		d.discard(key, path)
-		return mis.Solution{}, false
+		d.quarantine(key, path, "witness", &io)
+		return mis.Solution{}, false, io
 	}
 	d.mu.Lock()
 	d.touch(key, int64(len(data)))
@@ -161,39 +231,41 @@ func (d *diskTier) load(key Key, g *graphs.Graph) (mis.Solution, bool) {
 	_ = os.Chtimes(path, now, now)
 	set := append([]graphs.NodeID(nil), e.Set...)
 	sort.Ints(set)
-	return mis.Solution{Set: set, Weight: e.Weight, Optimal: true, Steps: e.Steps}, true
+	return mis.Solution{Set: set, Weight: e.Weight, Optimal: true, Steps: e.Steps}, true, io
 }
 
-// store persists an optimal solution atomically and returns how many old
-// entries the size bound evicted.
-func (d *diskTier) store(key Key, sol mis.Solution) (evicted int, err error) {
+// store persists an optimal solution atomically and crash-durably (temp
+// file + fsync + rename + parent-directory fsync) and returns how many
+// old entries the size bound evicted. Transient write errors are retried
+// (diskAttempts total) before the store is abandoned — the cache keeps
+// working either way, the entry just is not persisted.
+func (d *diskTier) store(key Key, sol mis.Solution) (evicted int, io diskIO, err error) {
+	hexKey := hex.EncodeToString(key[:])
 	e := diskEntry{
 		Schema: diskSchema,
-		Key:    hex.EncodeToString(key[:]),
+		Key:    hexKey,
 		Weight: sol.Weight,
 		Steps:  sol.Steps,
 		Set:    sol.Set,
 	}
 	data, err := json.Marshal(e)
 	if err != nil {
-		return 0, err
+		return 0, io, err
 	}
-	tmp, err := os.CreateTemp(d.dir, "tmp-*")
-	if err != nil {
-		return 0, err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return 0, err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return 0, err
-	}
-	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return 0, err
+	fault.Stall(fault.DiskSlow, hexKey)
+	for attempt := 0; ; attempt++ {
+		err = fault.Err(fault.DiskWrite, hexKey, uint64(attempt))
+		if err == nil {
+			err = d.writeEntry(d.path(key), data)
+		}
+		if err == nil {
+			break
+		}
+		if attempt+1 >= diskAttempts {
+			return 0, io, err
+		}
+		io.retries++
+		time.Sleep(diskBackoff << attempt)
 	}
 	d.mu.Lock()
 	d.touch(key, int64(len(data)))
@@ -202,7 +274,51 @@ func (d *diskTier) store(key Key, sol mis.Solution) (evicted int, err error) {
 	for _, path := range victims {
 		_ = os.Remove(path)
 	}
-	return len(victims), nil
+	return len(victims), io, nil
+}
+
+// writeEntry is the durable atomic write: data lands in a tmp file that
+// is fsynced before the rename, and the parent directory is fsynced after
+// it, so once store returns the entry survives a crash or power loss (on
+// platforms whose directory fsync is a no-op this degrades to the old
+// atomic-but-not-durable behaviour).
+func (d *diskTier) writeEntry(path string, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	fsyncDir(d.dir)
+	return nil
+}
+
+// fsyncDir makes a completed rename durable by syncing the directory.
+// Errors are deliberately ignored: not every filesystem supports syncing
+// directories, and the write itself already succeeded atomically.
+func fsyncDir(dir string) {
+	f, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = f.Sync()
+	f.Close()
 }
 
 // touch records (key, size) as most recently used; callers hold d.mu.
@@ -218,9 +334,25 @@ func (d *diskTier) touch(key Key, size int64) {
 	d.bytes += size
 }
 
-// discard drops a corrupt entry from disk and the index.
-func (d *diskTier) discard(key Key, path string) {
-	_ = os.Remove(path)
+// quarantine moves an invalid entry into the quarantine sidecar directory
+// — named <entry>.<reason> so operators can see why it was rejected — and
+// drops it from the index. Entries are preserved, not deleted: a corrupt
+// file is evidence of a bug or bad disk that deleting would destroy. If
+// the move itself fails the file is removed (the one thing that must not
+// happen is re-serving it).
+func (d *diskTier) quarantine(key Key, path, reason string, io *diskIO) {
+	io.quarantined++
+	qdir := filepath.Join(d.dir, quarantineDirName)
+	moved := false
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		dst := filepath.Join(qdir, filepath.Base(path)+"."+reason)
+		if err := os.Rename(path, dst); err == nil || os.IsNotExist(err) {
+			moved = true
+		}
+	}
+	if !moved {
+		_ = os.Remove(path)
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if el, ok := d.index[key]; ok {

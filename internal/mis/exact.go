@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"congestlb/internal/fault"
 	"congestlb/internal/graphs"
 	"congestlb/internal/obs"
 )
@@ -216,6 +217,14 @@ type exactState struct {
 	// multiple of the sequential step count in lost pruning.
 	warmedUp atomic.Bool
 
+	// Panic containment (see docs/robustness.md): panics counts recovered
+	// solver-worker panics, firstPanic keeps the first one's structured
+	// error, and degraded marks a parallel solve that lost every worker
+	// and fell back to the incumbent (the budget/ctx contract).
+	panics     atomic.Int64
+	firstPanic atomic.Pointer[fault.PanicError]
+	degraded   atomic.Bool
+
 	best    atomic.Int64 // incumbent weight, read lock-free for pruning
 	mu      sync.Mutex   // guards bestSet and best-improvement ordering
 	bestSet []uint64
@@ -299,7 +308,13 @@ func (st *exactState) solution(optimal bool, steps int64) Solution {
 		}
 	}
 	sort.Ints(set)
-	return Solution{Set: set, Weight: st.best.Load(), Optimal: optimal, Steps: steps}
+	return Solution{
+		Set:          set,
+		Weight:       st.best.Load(),
+		Optimal:      optimal,
+		Steps:        steps,
+		WorkerPanics: int(st.panics.Load()),
+	}
 }
 
 // searcher is the per-worker search machinery: per-depth candidate buffers,
@@ -317,6 +332,11 @@ type searcher struct {
 	cliqueMax   []int64
 	cliqueStamp []int64
 	stamp       int64
+
+	// faultKey names this worker at the fault layer ("w0", "w1", …): the
+	// chaos harness targets individual workers by it, and recovered
+	// panics carry it as the owning identity.
+	faultKey string
 
 	localSteps int64 // steps not yet flushed to st.steps
 	canonSteps int64 // nodes visited by the canonicalisation pass
@@ -385,10 +405,24 @@ func (w *searcher) pickBranchNode(p []uint64) int {
 }
 
 // exactSequential runs the single-goroutine engine: the exact code path
-// (and step accounting) the solver always had.
+// (and step accounting) the solver always had. The search is wrapped in
+// panic containment: the incumbent is only ever written as a complete
+// valid independent set, so a panic anywhere in the recursion degrades
+// the solve to the incumbent with a *fault.PanicError — the same shape a
+// blown budget has. The single worker is named "w0" at the fault layer,
+// matching the parallel engine's worker-0 key.
 func exactSequential(st *exactState) (Solution, error) {
 	w := newSearcher(st, nil)
-	err := w.searchSeq(st.rootCandidates(), 0, 0)
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				st.panics.Add(1)
+				err = fault.NewPanicError("solver worker w0", r)
+			}
+		}()
+		fault.MaybePanic(fault.SolverPanic, "w0")
+		return w.searchSeq(st.rootCandidates(), 0, 0)
+	}()
 	st.steps.Store(w.localSteps)
 	if err != nil {
 		// Budget exhausted: the incumbent (seeded with the greedy solution

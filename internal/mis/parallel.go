@@ -3,8 +3,11 @@ package mis
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"congestlb/internal/fault"
 )
 
 // Parallel branch-and-bound engine.
@@ -74,6 +77,7 @@ type workPool struct {
 	pending int       // queued + popped-but-unfinished frames
 	idle    int       // workers blocked in pop
 	workers int
+	live    int  // workers that have not retired after a recovered panic
 	aborted bool // budget blown: pop drains immediately
 
 	// wantDonations is the lock-free "please donate" signal workers poll on
@@ -83,7 +87,7 @@ type workPool struct {
 }
 
 func newWorkPool(workers int) *workPool {
-	wp := &workPool{workers: workers}
+	wp := &workPool{workers: workers, live: workers}
 	wp.cond = sync.NewCond(&wp.mu)
 	return wp
 }
@@ -202,6 +206,29 @@ func (wp *workPool) finish(f *frame) {
 	}
 }
 
+// requeue returns a popped frame to the queue unexplored after its worker
+// recovered a panic: pending stays unchanged (the frame was counted at
+// push and never finished), so a surviving worker picks it up and the
+// termination condition still closes.
+func (wp *workPool) requeue(f *frame) {
+	wp.mu.Lock()
+	wp.frames.push(f)
+	wp.updateHungryLocked()
+	wp.mu.Unlock()
+	wp.cond.Signal()
+}
+
+// retire removes a worker that cannot continue (it recovered a panic);
+// true means it was the last live one, so nobody is left to drain the
+// queue and the caller must abort the search.
+func (wp *workPool) retire() bool {
+	wp.mu.Lock()
+	wp.live--
+	last := wp.live == 0
+	wp.mu.Unlock()
+	return last
+}
+
 // abort drains the pool: pop returns nil for everyone from now on.
 func (wp *workPool) abort() {
 	wp.mu.Lock()
@@ -220,12 +247,20 @@ func exactParallel(st *exactState, workers int) (Solution, error) {
 	var wg sync.WaitGroup
 	for i := range searchers {
 		searchers[i] = newSearcher(st, pool)
+		searchers[i].faultKey = "w" + strconv.Itoa(i)
 		wg.Add(1)
 		go searchers[i].runWorker(&wg)
 	}
 	wg.Wait()
 
 	total := st.steps.Load()
+	if st.degraded.Load() {
+		// Every worker panicked and retired with frames still pending: the
+		// search cannot complete, so return the incumbent — a valid,
+		// possibly sub-optimal witness, exactly the blown-budget contract —
+		// with the first recovered panic as the cause.
+		return st.solution(false, total), fmt.Errorf("mis: all %d solver workers panicked: %w", workers, st.firstPanic.Load())
+	}
 	if st.stop.Load() {
 		if st.cancelled.Load() {
 			return st.solution(false, total), st.ctx.Err()
@@ -243,8 +278,15 @@ func exactParallel(st *exactState, workers int) (Solution, error) {
 	// the witness.
 	var canonSteps int64
 	if !st.weightOnly && st.best.Load() > st.seedWeight {
-		var ok bool
-		canonSteps, ok = searchers[0].canonicalize()
+		canonSteps2, ok, err := searchers[0].canonicalizeSafe()
+		canonSteps = canonSteps2
+		if err != nil {
+			// The canonicalisation replay panicked: the weight is provably
+			// optimal but the witness is the schedule-dependent one, so
+			// report non-optimal with the structured panic error — the
+			// cancellation contract below, with a different cause.
+			return st.solution(false, total+canonSteps), err
+		}
 		if !ok {
 			// Cancelled mid-canonicalisation: the weight is provably
 			// optimal but the witness is still the schedule-dependent one
@@ -260,7 +302,9 @@ func exactParallel(st *exactState, workers int) (Solution, error) {
 
 // runWorker is one pool worker: pop a frame, explore its subtree (donating
 // under-explored branches when the pool is hungry), repeat until the pool
-// reports completion.
+// reports completion — or until the worker recovers a panic, at which
+// point it requeues its frame for the survivors and retires. The last
+// retiree aborts the search, degrading the solve to the incumbent.
 func (w *searcher) runWorker(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
@@ -268,14 +312,60 @@ func (w *searcher) runWorker(wg *sync.WaitGroup) {
 		if f == nil {
 			break
 		}
-		copy(w.curSet, f.set)
-		w.searchPar(f.p, f.cur, 0)
-		w.pool.finish(f)
+		if !w.exploreFrame(f) {
+			if w.pool.retire() {
+				w.st.degraded.Store(true)
+				w.st.stop.Store(true)
+				w.pool.abort()
+			}
+			break
+		}
 	}
 	// Flush the remainder so Solution.Steps is the true total. This runs
 	// after the search settled, so it must not flip the budget stop.
 	w.st.steps.Add(w.localSteps)
 	w.localSteps = 0
+}
+
+// exploreFrame explores one popped frame to completion; false means a
+// panic was recovered and the frame went back to the pool. The requeue is
+// sound: f.set is never mutated during the search (workers explore over
+// their own curSet copy), and f.p only drops a depth-0 node after that
+// node's include branch completed — so a resumed frame re-explores a
+// superset of the unexplored subtree and the search stays exhaustive
+// modulo pruning, keeping Set and Weight canonical even across recovered
+// panics.
+func (w *searcher) exploreFrame(f *frame) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.st.panics.Add(1)
+			w.st.firstPanic.CompareAndSwap(nil, fault.NewPanicError("solver worker "+w.faultKey, r))
+			w.pool.requeue(f)
+			ok = false
+		}
+	}()
+	fault.MaybePanic(fault.SolverPanic, w.faultKey)
+	fault.Stall(fault.WorkerStall, w.faultKey)
+	copy(w.curSet, f.set)
+	w.searchPar(f.p, f.cur, 0)
+	w.pool.finish(f)
+	return true
+}
+
+// canonicalizeSafe is canonicalize with panic containment: the replay runs
+// on the caller's goroutine after the parallel search settled, so a panic
+// there (the only solver code left outside exploreFrame's recovery) must
+// not escape either.
+func (w *searcher) canonicalizeSafe() (steps int64, ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.st.panics.Add(1)
+			steps, ok = w.canonSteps, false
+			err = fault.NewPanicError("solver canonicalisation", r)
+		}
+	}()
+	steps, ok = w.canonicalize()
+	return steps, ok, nil
 }
 
 // flushAndCheck moves the local step count into the shared counter and

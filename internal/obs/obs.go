@@ -81,6 +81,15 @@ const (
 	MBatchInstances    = "batch_instances"     // counter: instances across passes
 	MBatchSharedGraphs = "batch_shared_graphs" // counter: distinct graphs across passes
 	MBatchOccupancy    = "batch_occupancy"     // histogram: instances per pass
+
+	// Fault containment (see docs/robustness.md). Panic recoveries are
+	// counted where they are caught; disk retry/quarantine traffic is
+	// counted at the solve cache's disk-tier call sites.
+	MSchedJobPanics            = "sched_job_panics"             // counter: panics recovered in scheduler jobs
+	MSolverWorkerPanics        = "solver_worker_panics"         // counter: panics recovered in exact-solver workers
+	MSolverDegradedSolves      = "solver_degraded_solves"       // counter: solves that fell back to the incumbent after worker loss
+	MSolveCacheDiskRetries     = "solve_cache_disk_retries"     // counter: disk-tier I/O attempts retried
+	MSolveCacheDiskQuarantined = "solve_cache_disk_quarantined" // counter: corrupt disk entries moved to quarantine
 )
 
 // Counter is a monotonically increasing int64. The zero value is ready

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"congestlb/internal/experiments"
+	"congestlb/internal/fault"
 	"congestlb/internal/lbgraph"
 	"congestlb/internal/mis"
 	"congestlb/internal/mis/cache"
@@ -68,7 +69,13 @@ import (
 // and a span summary (count/total/max ns per span name). Both blocks are
 // omitted on registry-less runs, whose envelopes are byte-identical to v5
 // apart from the schema string.
-const Schema = "congestlb/experiment-envelope/v6"
+// v7: fault containment — per-experiment and run-level failures blocks
+// (panics recovered, solver-worker panics, degraded solves, disk-tier
+// retries and quarantined entries; see docs/robustness.md), omitted when
+// all-zero, so fault-free envelopes are byte-identical to v6 apart from
+// the schema string. The cache blocks may additionally carry the
+// disk_retries/disk_quarantined/worker_panics/degraded_solves counters.
+const Schema = "congestlb/experiment-envelope/v7"
 
 // Experiment statuses in the envelope.
 const (
@@ -157,6 +164,47 @@ type ExperimentResult struct {
 	// batching removed.
 	BatchJobs        int64 `json:"batch_jobs"`
 	BatchedInstances int64 `json:"batched_instances"`
+	// Failures is the experiment's fault-containment accounting, omitted
+	// when nothing went wrong (the overwhelmingly common case).
+	Failures *FailureStats `json:"failures,omitempty"`
+}
+
+// FailureStats is the envelope's fault-containment block: what the
+// robustness layer absorbed on behalf of one experiment (or, at run
+// level, the whole run). All counters are exact — panics are counted
+// where they are recovered and attributed through the experiment's
+// private sessions — which is what the chaos suite asserts.
+type FailureStats struct {
+	// PanicsRecovered counts panics recovered while executing this
+	// experiment: its body (Run), its scheduler instance jobs, and any
+	// engine worker panic that surfaced as a job error.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// SolverWorkerPanics counts exact-solver worker panics recovered
+	// inside this experiment's fresh solves (the solve still completed
+	// canonically on the surviving workers unless DegradedSolves says
+	// otherwise).
+	SolverWorkerPanics uint64 `json:"solver_worker_panics"`
+	// DegradedSolves counts fresh solves that lost every worker and fell
+	// back to the incumbent witness with an error.
+	DegradedSolves uint64 `json:"degraded_solves"`
+	// DiskRetries counts solve-cache disk-tier I/O attempts retried after
+	// transient errors; DiskQuarantined counts invalid disk entries moved
+	// to the quarantine sidecar instead of being served.
+	DiskRetries     uint64 `json:"disk_retries"`
+	DiskQuarantined uint64 `json:"disk_quarantined"`
+}
+
+// Any reports whether any counter is non-zero.
+func (f FailureStats) Any() bool { return f != FailureStats{} }
+
+// Add accumulates other into f (benchjson re-sums the per-experiment
+// blocks with it to validate the run-level block).
+func (f *FailureStats) Add(other FailureStats) {
+	f.PanicsRecovered += other.PanicsRecovered
+	f.SolverWorkerPanics += other.SolverWorkerPanics
+	f.DegradedSolves += other.DegradedSolves
+	f.DiskRetries += other.DiskRetries
+	f.DiskQuarantined += other.DiskQuarantined
 }
 
 // BatchTotals is the run-level sum of the per-experiment batch accounting.
@@ -192,6 +240,9 @@ type Envelope struct {
 	LBGraph lbgraph.CacheStats `json:"lbgraph_cache"`
 	// Batch sums the per-experiment batched-simulation accounting.
 	Batch BatchTotals `json:"batch"`
+	// Failures sums the per-experiment failures blocks; omitted when the
+	// whole run was fault-free.
+	Failures *FailureStats `json:"failures,omitempty"`
 	// Metrics is the run-scoped delta of the Options.Obs registry
 	// (counters/histograms diffed across the run window, gauges at their
 	// end-of-run level); Spans aggregates the spans the run completed, by
@@ -355,6 +406,10 @@ func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w 
 		env.Cache.DiskMisses += st.DiskMisses
 		env.Cache.DiskWrites += st.DiskWrites
 		env.Cache.DiskEvictions += st.DiskEvictions
+		env.Cache.DiskRetries += st.DiskRetries
+		env.Cache.DiskQuarantined += st.DiskQuarantined
+		env.Cache.WorkerPanics += st.WorkerPanics
+		env.Cache.DegradedSolves += st.DegradedSolves
 	}
 	cacheAfter := statsCache.Stats()
 	env.Cache.Evictions = cacheAfter.Evictions - cacheBefore.Evictions
@@ -380,8 +435,12 @@ func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w 
 		env.Spans = opts.Obs.SpanStatsSince(spanMark)
 	}
 
+	var runFailures FailureStats
 	var failures []string
 	for _, r := range env.Experiments {
+		if r.Failures != nil {
+			runFailures.Add(*r.Failures)
+		}
 		env.SequentialMS += r.WallMS
 		if r.Status == StatusFailed {
 			env.Failed++
@@ -392,6 +451,9 @@ func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w 
 		} else {
 			env.OK++
 		}
+	}
+	if runFailures.Any() {
+		env.Failures = &runFailures
 	}
 	// Joined, not prioritised: a report-writer error (disk full) must not
 	// mask which experiments failed, and vice versa.
@@ -435,7 +497,7 @@ func runOne(ctx context.Context, e experiments.Experiment, sched *experiments.Sc
 	}
 	ectx := experiments.NewCtx(buf, sess).WithBuilds(bsess).WithScheduler(sched).WithContext(ctx)
 	start := time.Now()
-	err := e.Run(ectx)
+	recovered, err := runBody(ectx, e)
 	// An experiment that errors between Go and Gather leaves instance
 	// jobs queued or running. Drain them before snapshotting: their cache
 	// traffic belongs to this experiment's record, and a leaked job must
@@ -456,6 +518,24 @@ func runOne(ctx context.Context, e experiments.Experiment, sched *experiments.Sc
 	res.InstanceJobs = ectx.InstanceJobs()
 	res.BatchJobs = ectx.BatchJobs()
 	res.BatchedInstances = ectx.BatchedInstances()
+	f := FailureStats{
+		// Gathered instance jobs that failed with a recovered panic, plus
+		// the experiment body itself if runBody caught one. No double
+		// counting: a body panic never reaches the job layer (runBody
+		// recovers first), and job panics surface as job errors, not as
+		// body panics.
+		PanicsRecovered:    uint64(ectx.PanicsRecovered()),
+		SolverWorkerPanics: st.WorkerPanics,
+		DegradedSolves:     st.DegradedSolves,
+		DiskRetries:        st.DiskRetries,
+		DiskQuarantined:    st.DiskQuarantined,
+	}
+	if recovered {
+		f.PanicsRecovered++
+	}
+	if f.Any() {
+		res.Failures = &f
+	}
 	if err != nil {
 		res.Status = StatusFailed
 		res.Error = err.Error()
@@ -474,4 +554,23 @@ func runOne(ctx context.Context, e experiments.Experiment, sched *experiments.Sc
 	res.Status = StatusOK
 	fmt.Fprintf(buf, "\n")
 	return sessStats
+}
+
+// runBody executes the experiment's Run with panic containment: a panic
+// anywhere in the body (or in an inline-claimed instance job that the
+// scheduler's own recovery did not see first) fails this experiment with
+// a structured *fault.PanicError instead of tearing down the runner — and
+// crucially instead of skipping the slot's done-channel close, which
+// would deadlock the flush loop. recovered reports whether the error is a
+// panic runBody itself caught (as opposed to one a lower layer already
+// converted and returned as a plain error).
+func runBody(ectx *experiments.Ctx, e experiments.Experiment) (recovered bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			recovered = true
+			err = fault.NewPanicError("experiment:"+e.ID, r)
+		}
+	}()
+	fault.MaybePanic(fault.JobPanic, e.ID)
+	return false, e.Run(ectx)
 }

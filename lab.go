@@ -88,6 +88,12 @@ func AllExperiments() []Experiment { return experiments.All() }
 // A Lab is safe for concurrent use. Close releases its worker pool and
 // detaches its disk tier; a closed Lab rejects RunExperiments but its
 // pure solve/simulate methods keep working.
+// ErrClosed is returned by Lab operations that require an open Lab —
+// RunExperiments, SetSolveCacheDir, and any Close after the first. Pure
+// solve/simulate methods keep working on a closed Lab and never return
+// it.
+var ErrClosed = errors.New("congestlb: Lab is closed")
+
 type Lab struct {
 	// solve/builds are nil on the default Lab, which resolves to the
 	// process-wide shared instances at call time (preserving the exact
@@ -373,7 +379,7 @@ func (l *Lab) SetSolveCacheDir(dir string) error {
 	closed := l.closed
 	l.mu.Unlock()
 	if closed {
-		return errors.New("congestlb: Lab is closed")
+		return ErrClosed
 	}
 	return l.solveCache().SetDir(dir, 0)
 }
@@ -675,7 +681,7 @@ func (l *Lab) beginRun() (sched *experiments.Scheduler, builds *lbgraph.BuildCac
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return nil, nil, false, errors.New("congestlb: Lab is closed")
+		return nil, nil, false, ErrClosed
 	}
 	if l.sched == nil {
 		jobs := l.jobs
@@ -729,23 +735,28 @@ func (l *Lab) RunExperiments(ctx context.Context, ids []string, w io.Writer) (Ex
 }
 
 // Close releases the Lab's worker pool and detaches its solve cache's disk
-// tier. Safe to call more than once; the default Lab must not be closed.
-// In-flight RunExperiments calls finish first (Scheduler.Close drains);
-// pure solve/simulate methods keep working on a closed Lab.
+// tier. The first Close owns the teardown; every later (or concurrently
+// racing) Close blocks until that teardown finishes, then returns
+// ErrClosed — so any Close returning means the pool is drained and the
+// disk tier detached, and the error tells the caller it was not the one
+// that did it. The default Lab must not be closed. In-flight
+// RunExperiments calls finish first (Scheduler.Close drains); pure
+// solve/simulate methods keep working on a closed Lab. See docs/api.md
+// for the full post-Close contract.
 func (l *Lab) Close() error {
 	if l.def {
 		return errors.New("congestlb: the default Lab cannot be closed")
 	}
 	l.mu.Lock()
 	if l.closeDone != nil {
-		// Another Close owns the teardown. Block until it completes —
-		// every Close returning means the pool is drained and the disk
-		// tier detached, so a caller may safely tear down external state
-		// (e.g. delete the cache directory) afterwards.
+		// Another Close owns the teardown. Block until it completes, then
+		// report ErrClosed: the Lab was already closed (or closing) when
+		// this call arrived, but it is still safe to tear down external
+		// state (e.g. delete the cache directory) once we return.
 		done := l.closeDone
 		l.mu.Unlock()
 		<-done
-		return nil
+		return ErrClosed
 	}
 	l.closed = true
 	l.closeDone = make(chan struct{})

@@ -343,7 +343,8 @@ func TestLabRunReductionCancelled(t *testing.T) {
 	}
 }
 
-// TestLabCloseSemantics: Close is idempotent, rejects further experiment
+// TestLabCloseSemantics: Close is idempotent (a second Close is safe and
+// reports ErrClosed instead of panicking), rejects further experiment
 // runs, keeps pure solves working, and the default Lab refuses to close.
 func TestLabCloseSemantics(t *testing.T) {
 	_, inst := buildTestInstance(t, 59)
@@ -357,17 +358,51 @@ func TestLabCloseSemantics(t *testing.T) {
 	if err := lab.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := lab.Close(); err != nil {
-		t.Fatalf("second Close: %v", err)
+	// A second Close is safe but reports that the Lab was already closed.
+	if err := lab.Close(); !errors.Is(err, congestlb.ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
 	}
-	if _, err := lab.RunExperiments(context.Background(), []string{"codes"}, nil); err == nil {
-		t.Fatal("closed Lab accepted RunExperiments")
+	if _, err := lab.RunExperiments(context.Background(), []string{"codes"}, nil); !errors.Is(err, congestlb.ErrClosed) {
+		t.Fatalf("closed Lab RunExperiments = %v, want ErrClosed", err)
 	}
 	if _, err := lab.ExactMaxIS(context.Background(), inst); err != nil {
 		t.Fatalf("closed Lab lost pure solving: %v", err)
 	}
 	if err := congestlb.DefaultLab().Close(); err == nil {
 		t.Fatal("default Lab allowed Close")
+	}
+}
+
+// TestLabCloseConcurrent: many goroutines racing Close on one Lab —
+// exactly one wins the teardown (nil), every loser blocks until the
+// teardown is complete and reports ErrClosed. Run with -race this also
+// proves the teardown itself is not entered twice.
+func TestLabCloseConcurrent(t *testing.T) {
+	lab, err := congestlb.New(congestlb.WithJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lab.RunExperiments(context.Background(), []string{"codes"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	const closers = 8
+	errs := make(chan error, closers)
+	for i := 0; i < closers; i++ {
+		go func() { errs <- lab.Close() }()
+	}
+	var nils, closed int
+	for i := 0; i < closers; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			nils++
+		case errors.Is(err, congestlb.ErrClosed):
+			closed++
+		default:
+			t.Fatalf("unexpected Close error: %v", err)
+		}
+	}
+	if nils != 1 || closed != closers-1 {
+		t.Fatalf("%d nil / %d ErrClosed, want exactly 1 / %d", nils, closed, closers-1)
 	}
 }
 
