@@ -12,11 +12,14 @@
 // (cmd/experiments -json):
 //
 //	benchjson -experiments experiments.json [-require-disk-hits]
+//	benchjson -experiments http://host:port/v1/experiments/last -bearer key
 //
 // prints a per-experiment summary (status, wall time, solver work, cache
 // traffic including the persistent disk tier) and exits non-zero if the
 // envelope is malformed or any experiment finished with a non-ok status —
-// the CI gate for the sharded experiment smoke run. -require-disk-hits
+// the CI gate for the sharded experiment smoke run. The -experiments
+// value may be an http(s) URL, in which case the envelope is fetched live
+// from a running congestlbd (-bearer supplies the tenant API key). -require-disk-hits
 // additionally fails when the run served nothing from the disk tier, which
 // is how CI asserts that a warm -cache-dir re-run actually skipped
 // branch-and-bound.
@@ -367,6 +370,34 @@ func checkScrape(env runner.Envelope, url string, w io.Writer) error {
 	return nil
 }
 
+// openEnvelope opens the -experiments source: a local envelope file, or —
+// when the value is an http(s) URL — a live congestlbd endpoint
+// (GET /v1/experiments/last serves the bare envelope). bearer, when
+// non-empty, is sent as the Authorization bearer token; congestlbd needs
+// it to resolve the tenant. The caller closes the reader.
+func openEnvelope(src, bearer string) (io.ReadCloser, error) {
+	if !strings.HasPrefix(src, "http://") && !strings.HasPrefix(src, "https://") {
+		return os.Open(src)
+	}
+	req, err := http.NewRequest(http.MethodGet, src, nil)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", src, err)
+	}
+	if bearer != "" {
+		req.Header.Set("Authorization", "Bearer "+bearer)
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", src, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("benchjson: %s: %s", src, resp.Status)
+	}
+	return resp.Body, nil
+}
+
 // readBaseline loads a benchjson baseline file (the convert output).
 func readBaseline(path string) (map[string]Result, []string, error) {
 	data, err := os.ReadFile(path)
@@ -459,7 +490,8 @@ func compareBaselines(oldPath, newPath string, threshold, floor float64, w io.Wr
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
-	experimentsEnv := flag.String("experiments", "", "validate an experiment result envelope (cmd/experiments -json) instead of converting bench output")
+	experimentsEnv := flag.String("experiments", "", "validate an experiment result envelope instead of converting bench output: a file (cmd/experiments -json) or an http(s) URL (congestlbd /v1/experiments/last)")
+	bearer := flag.String("bearer", "", "with -experiments URL: send this API key as the Authorization bearer token")
 	requireDiskHits := flag.Bool("require-disk-hits", false, "with -experiments: fail unless the run served at least one solve from the disk tier")
 	requireBatched := flag.Bool("require-batched", false, "with -experiments: fail unless the run batched at least one simulation instance")
 	requireMetrics := flag.Bool("require-metrics", false, "with -experiments: fail unless the envelope carries the v6 metrics block")
@@ -494,7 +526,7 @@ func main() {
 		return
 	}
 	if *experimentsEnv != "" {
-		f, err := os.Open(*experimentsEnv)
+		f, err := openEnvelope(*experimentsEnv, *bearer)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

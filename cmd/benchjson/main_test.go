@@ -551,3 +551,54 @@ func TestCheckEnvelopeBatch(t *testing.T) {
 		t.Fatalf("unbatched run rejected without the flag: %v", err)
 	}
 }
+
+func TestOpenEnvelopeFileAndURL(t *testing.T) {
+	env := runner.Envelope{
+		Schema:      runner.Schema,
+		OK:          1,
+		Experiments: []runner.ExperimentResult{{ID: "figure1", Status: runner.StatusOK}},
+	}
+	data := envelopeJSON(t, env)
+
+	path := filepath.Join(t.TempDir(), "env.json")
+	if err := os.WriteFile(path, []byte(data), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := openEnvelope(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := checkEnvelope(rc, &buf, false, false, false, false, false, ""); err != nil {
+		t.Fatalf("file envelope rejected: %v", err)
+	}
+	rc.Close()
+
+	// URL path: the server stands in for congestlbd's
+	// GET /v1/experiments/last and demands the bearer key, like the
+	// daemon's tenant auth does.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Authorization") != "Bearer secret" {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		w.Write([]byte(data))
+	}))
+	defer srv.Close()
+
+	if _, err := openEnvelope(srv.URL, ""); err == nil {
+		t.Fatal("missing bearer accepted")
+	}
+	rc, err = openEnvelope(srv.URL, "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	buf.Reset()
+	if err := checkEnvelope(rc, &buf, false, false, false, false, false, ""); err != nil {
+		t.Fatalf("URL envelope rejected: %v", err)
+	}
+	if !strings.Contains(buf.String(), "figure1") {
+		t.Fatalf("summary missing experiment:\n%s", buf.String())
+	}
+}

@@ -63,8 +63,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -72,6 +70,7 @@ import (
 	"time"
 
 	"congestlb"
+	"congestlb/internal/serve"
 )
 
 func main() {
@@ -173,23 +172,23 @@ func run(args []string, stdout io.Writer) error {
 	defer lab.Close()
 
 	if *metricsAddr != "" {
-		ln, err := net.Listen("tcp", *metricsAddr)
+		hs, err := serve.StartHTTP(*metricsAddr, lab.MetricsHandler())
 		if err != nil {
 			return fmt.Errorf("metrics-addr: %w", err)
 		}
-		srv := &http.Server{Handler: lab.MetricsHandler()}
-		go srv.Serve(ln)
 		// The bound address goes to stderr so scripts using port 0 can
 		// find the endpoint without parsing the report stream.
-		fmt.Fprintf(os.Stderr, "experiments: metrics endpoint on http://%s/metrics\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "experiments: metrics endpoint on http://%s/metrics\n", hs.Addr())
 		defer func() {
 			// Hold the endpoint open past the run so a scraper polling on
-			// an interval still sees the final counters, then shut down
-			// cleanly (Close, not Shutdown: lingering was the grace).
+			// an interval still sees the final counters, then drain like
+			// congestlbd does: in-flight scrapes finish, stragglers are cut.
 			if *metricsLinger > 0 {
 				time.Sleep(*metricsLinger)
 			}
-			srv.Close()
+			if err := hs.Shutdown(5 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: metrics endpoint:", err)
+			}
 		}()
 	}
 

@@ -181,6 +181,29 @@ func NewScheduler(workers int) *Scheduler {
 // Workers reports the pool size the scheduler was started with.
 func (s *Scheduler) Workers() int { return s.workers }
 
+// QueueDepth reports the number of submitted jobs that no worker (or
+// inline-claiming gatherer) has started yet. Claimed carcasses still
+// sitting in a queue slot are excluded — the count is work actually
+// waiting, which is what admission control wants; the MSchedQueueDepth
+// gauge deliberately differs by counting slots instead (see
+// schedMetrics).
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.inst {
+		if j != nil && j.state.Load() == jobQueued {
+			n++
+		}
+	}
+	for _, j := range s.exp {
+		if j != nil && j.state.Load() == jobQueued {
+			n++
+		}
+	}
+	return n
+}
+
 // worker drains the queue until the scheduler closes. Jobs claimed inline
 // by their gatherer are skipped — the atomic claim makes the race benign.
 func (s *Scheduler) worker() {

@@ -76,6 +76,12 @@ type Stats struct {
 	// here too: their branch-and-bound ran in some earlier process.
 	StepsSaved int64 `json:"steps_saved"`
 
+	// SharedHits counts the subset of Hits served by an attached
+	// cross-cache SharedTier — solves some *other* cache (typically
+	// another tenant of the same daemon) already paid for. Zero with no
+	// tier attached.
+	SharedHits uint64 `json:"shared_hits,omitempty"`
+
 	// DiskHits counts in-memory misses served by the persistent disk tier
 	// (cmd/experiments -cache-dir); DiskMisses counts lookups that reached
 	// a configured tier and found nothing valid (corrupt entries are
@@ -120,6 +126,9 @@ type Cache struct {
 	lru      *list.List // front = most recently used; values are *entry
 	stats    Stats
 	disk     *diskTier // nil until SetDir attaches the persistent tier
+	// sharedTier is the optional cross-cache read-through tier (see
+	// shared.go); nil until SetSharedTier attaches one.
+	sharedTier *SharedTier
 	// om holds the observability handles attached by SetRegistry; an
 	// atomic pointer (not the cache mutex) so the nil-registry fast path
 	// costs one load and the attach can race live lookups under -race.
@@ -132,6 +141,7 @@ type Cache struct {
 // envelope's legacy cache block.
 type cacheMetrics struct {
 	hits, misses, waits          *obs.Counter
+	sharedHits                   *obs.Counter
 	diskHits, diskMisses         *obs.Counter
 	diskRetries, diskQuarantined *obs.Counter
 	workerPanics, degraded       *obs.Counter
@@ -152,6 +162,7 @@ func (c *Cache) SetRegistry(r *obs.Registry) {
 		hits:            r.Counter(obs.MSolveCacheHits),
 		misses:          r.Counter(obs.MSolveCacheMisses),
 		waits:           r.Counter(obs.MSolveCacheWaits),
+		sharedHits:      r.Counter(obs.MSolveCacheSharedHits),
 		diskHits:        r.Counter(obs.MSolveCacheDiskHits),
 		diskMisses:      r.Counter(obs.MSolveCacheDiskMisses),
 		diskRetries:     r.Counter(obs.MSolveCacheDiskRetries),
@@ -229,6 +240,7 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 	m := c.om.Load() // nil when no registry is attached; every use is nil-guarded
 	c.mu.Lock()
 	disk := c.disk
+	tier := c.sharedTier
 	if el, found := c.index[key]; found {
 		e := el.Value.(*entry)
 		c.lru.MoveToFront(el)
@@ -320,6 +332,48 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 					return clone(ce.sol), nil, false
 				}
 			}
+		}
+	}
+	// A cross-cache tier hit is consulted *before* booking a miss: a
+	// solve another cache already paid for is a hit from this cache's
+	// point of view (zero branch-and-bound steps ran anywhere on its
+	// behalf), attributed separately as SharedHits. The result also fills
+	// the private LRU as a completed entry, so the tenant's next lookup
+	// is an ordinary private hit. Lock order is c.mu → tier.mu (the tier
+	// never calls back), so holding c.mu here is safe.
+	if tier != nil {
+		tsol, tok := tier.get(key)
+		if !tok && opts.WeightOnly {
+			// Mirror the private weight-only fallback: a canonical
+			// solution published by any cache is a strict superset of
+			// what a weight-only caller needs.
+			canonOpts := opts
+			canonOpts.WeightOnly = false
+			if ckey, cok := KeyOf(g, canonOpts); cok {
+				tsol, tok = tier.get(ckey)
+			}
+		}
+		if tok {
+			ready := make(chan struct{})
+			close(ready)
+			te := &entry{key: key, sol: tsol, done: true, ready: ready}
+			c.index[key] = c.lru.PushFront(te)
+			c.stats.Hits++
+			c.stats.SharedHits++
+			c.stats.StepsSaved += tsol.Steps
+			c.evictLocked()
+			c.mu.Unlock()
+			sess.record(func(st *Stats) {
+				st.Hits++
+				st.SharedHits++
+				st.StepsSaved += tsol.Steps
+			})
+			if m != nil {
+				m.hits.Inc()
+				m.sharedHits.Inc()
+				m.stepsSaved.Add(tsol.Steps)
+			}
+			return clone(tsol), nil, false
 		}
 	}
 	e := &entry{key: key, ready: make(chan struct{})}
@@ -453,6 +507,11 @@ func (c *Cache) exactAttempt(ctx context.Context, key Key, g *graphs.Graph, opts
 	c.mu.Unlock()
 	if err == nil && !fromDisk {
 		sess.record(func(st *Stats) { st.StepsSolved += sol.Steps })
+	}
+	if err == nil && tier != nil {
+		// Publish the completed solution (fresh or disk-served) so every
+		// other cache on the tier skips its own solve for this key.
+		tier.put(key, cached)
 	}
 	close(e.ready)
 	return clone(sol), err, false

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
 // Handler returns the opt-in ops endpoint for a registry:
@@ -56,15 +57,39 @@ func Handler(r *Registry) http.Handler {
 // promPrefix namespaces every exported series.
 const promPrefix = "congestlb_"
 
-// writePrometheus renders a snapshot in the Prometheus text format.
-func writePrometheus(w http.ResponseWriter, s Snapshot) {
-	for _, name := range sortedKeys(s.Counters) {
-		fmt.Fprintf(w, "# TYPE %s%s_total counter\n", promPrefix, name)
-		fmt.Fprintf(w, "%s%s_total %d\n", promPrefix, name, s.Counters[name])
+// splitLabels separates a registry name produced by Labeled into its
+// metric family and label block: "a{t=\"x\"}" → ("a", "{t=\"x\"}"). An
+// unlabeled name comes back unchanged with empty labels.
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
 	}
+	return name, ""
+}
+
+// writePrometheus renders a snapshot in the Prometheus text format.
+// Counter suffixes and TYPE lines are spliced against the metric family,
+// so labeled series ("serve_requests{tenant=\"a\"}") render as
+// congestlb_serve_requests_total{tenant="a"} under a single family TYPE
+// line shared by every labeled variant.
+func writePrometheus(w http.ResponseWriter, s Snapshot) {
+	typed := make(map[string]bool)
+	for _, name := range sortedKeys(s.Counters) {
+		base, labels := splitLabels(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s%s_total counter\n", promPrefix, base)
+		}
+		fmt.Fprintf(w, "%s%s_total%s %d\n", promPrefix, base, labels, s.Counters[name])
+	}
+	typed = make(map[string]bool)
 	for _, name := range sortedKeys(s.Gauges) {
-		fmt.Fprintf(w, "# TYPE %s%s gauge\n", promPrefix, name)
-		fmt.Fprintf(w, "%s%s %d\n", promPrefix, name, s.Gauges[name])
+		base, labels := splitLabels(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s%s gauge\n", promPrefix, base)
+		}
+		fmt.Fprintf(w, "%s%s%s %d\n", promPrefix, base, labels, s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]

@@ -21,17 +21,20 @@
 //
 // # Naming
 //
-// Metric names are lower_snake_case without labels (the registry is
-// already per-Lab, which is the only dimension we need). The canonical
-// names used across the repository are the M* constants below; the
-// Prometheus exposition in Handler prefixes them with "congestlb_" and
-// suffixes counters with "_total".
+// Metric names are lower_snake_case. Most are unlabeled (a registry is
+// per-Lab, which is usually the only dimension we need); the service
+// layer's per-tenant series attach a label via Labeled, which the
+// Prometheus exposition understands. The canonical names used across the
+// repository are the M* constants below; the Prometheus exposition in
+// Handler prefixes them with "congestlb_" and suffixes counters with
+// "_total" (before the label braces, when present).
 package obs
 
 import (
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -45,7 +48,10 @@ const (
 	MSolveCacheMisses = "solve_cache_misses"
 	// MSolveCacheWaits counts lookups that blocked on another caller's
 	// in-flight solve of the same key (single-flight collapse).
-	MSolveCacheWaits      = "solve_cache_singleflight_waits"
+	MSolveCacheWaits = "solve_cache_singleflight_waits"
+	// MSolveCacheSharedHits counts the subset of hits served by a
+	// cross-cache SharedTier (a solve another tenant already paid for).
+	MSolveCacheSharedHits = "solve_cache_shared_hits"
 	MSolveCacheDiskHits   = "solve_cache_disk_hits"
 	MSolveCacheDiskMisses = "solve_cache_disk_misses"
 
@@ -90,7 +96,42 @@ const (
 	MSolverDegradedSolves      = "solver_degraded_solves"       // counter: solves that fell back to the incumbent after worker loss
 	MSolveCacheDiskRetries     = "solve_cache_disk_retries"     // counter: disk-tier I/O attempts retried
 	MSolveCacheDiskQuarantined = "solve_cache_disk_quarantined" // counter: corrupt disk entries moved to quarantine
+
+	// Service layer (internal/serve). Per-tenant series carry a tenant
+	// label (see Labeled); the unlabeled name is the daemon-wide series.
+	MServeRequests    = "serve_requests"            // counter: admitted API requests
+	MServeRejected    = "serve_rejected"            // counter: requests turned away with 429
+	MServeQueueDepth  = "serve_queue_depth"         // gauge: jobs waiting for an executor
+	MServeInflight    = "serve_inflight_jobs"       // gauge: admitted jobs not yet finished
+	MServeTierEntries = "serve_shared_tier_entries" // gauge: solutions held by the cross-tenant tier
+	MServeTierHits    = "serve_shared_tier_hits"    // gauge: cumulative cross-tenant tier hits
 )
+
+// Labeled renders a metric name with label pairs attached in the
+// Prometheus exposition style: Labeled("serve_requests", "tenant", "a")
+// → `serve_requests{tenant="a"}`. The registry treats the result as an
+// ordinary (interned) name; the scrape endpoint knows to splice counter
+// suffixes before the brace. Pairs must come as key, value, key, value —
+// a trailing odd key is ignored.
+func Labeled(name string, pairs ...string) string {
+	if len(pairs) < 2 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(pairs[i])
+		b.WriteString(`="`)
+		b.WriteString(pairs[i+1])
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // Counter is a monotonically increasing int64. The zero value is ready
 // to use; a nil *Counter is a no-op sink.

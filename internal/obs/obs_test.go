@@ -2,6 +2,7 @@ package obs
 
 import (
 	"context"
+	"io"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -189,6 +190,56 @@ func TestTee(t *testing.T) {
 	Tee(oa, ob).OnIncumbent(ProgressEvent{})
 	if a != 2 || b != 2 {
 		t.Fatalf("tee fan-out wrong: a=%d b=%d", a, b)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled(MServeRequests, "tenant", "alice"); got != `serve_requests{tenant="alice"}` {
+		t.Fatalf("Labeled = %q", got)
+	}
+	if got := Labeled("g", "a", "1", "b", "2"); got != `g{a="1",b="2"}` {
+		t.Fatalf("Labeled two pairs = %q", got)
+	}
+	if got := Labeled("g"); got != "g" {
+		t.Fatalf("Labeled no pairs = %q", got)
+	}
+}
+
+func TestPrometheusLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Labeled(MServeRequests, "tenant", "alice")).Add(4)
+	r.Counter(Labeled(MServeRequests, "tenant", "bob")).Add(2)
+	r.Gauge(Labeled(MServeQueueDepth, "tenant", "alice")).Set(1)
+	r.Gauge(MServeQueueDepth).Set(3)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := new(strings.Builder)
+	if _, err := io.Copy(body, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	prom := body.String()
+	// The counter suffix splices before the label block, and the family
+	// gets exactly one TYPE line shared by its labeled variants.
+	for _, want := range []string{
+		"congestlb_serve_requests_total{tenant=\"alice\"} 4",
+		"congestlb_serve_requests_total{tenant=\"bob\"} 2",
+		"congestlb_serve_queue_depth{tenant=\"alice\"} 1",
+		"congestlb_serve_queue_depth 3",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, prom)
+		}
+	}
+	if n := strings.Count(prom, "# TYPE congestlb_serve_requests_total counter"); n != 1 {
+		t.Fatalf("TYPE line count for labeled counter family = %d, want 1:\n%s", n, prom)
+	}
+	if n := strings.Count(prom, "# TYPE congestlb_serve_queue_depth gauge"); n != 1 {
+		t.Fatalf("TYPE line count for labeled gauge family = %d, want 1:\n%s", n, prom)
 	}
 }
 

@@ -399,6 +399,7 @@ func RunCtx(ctx context.Context, exps []experiments.Experiment, opts Options, w 
 	for _, s := range slots {
 		st := s.sess
 		env.Cache.Hits += st.Hits
+		env.Cache.SharedHits += st.SharedHits
 		env.Cache.Misses += st.Misses
 		env.Cache.StepsSolved += st.StepsSolved
 		env.Cache.StepsSaved += st.StepsSaved

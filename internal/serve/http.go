@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPServer is a bound-and-serving HTTP listener with a graceful
+// shutdown contract, shared by cmd/congestlbd and cmd/experiments so
+// both binaries stop identically on SIGTERM: Shutdown stops accepting,
+// waits for in-flight requests up to the grace period, then hard-closes
+// whatever is left.
+type HTTPServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when Serve returns
+	err  error         // Serve's terminal error (nil after Shutdown/Close)
+}
+
+// StartHTTP binds addr (":0" picks a free port) and serves h on it in a
+// background goroutine.
+func StartHTTP(addr string, h http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s := &HTTPServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: h},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.err = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *HTTPServer) Addr() net.Addr { return s.ln.Addr() }
+
+// URL reports the server's base URL.
+func (s *HTTPServer) URL() string { return "http://" + s.ln.Addr().String() }
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests get up to grace to finish, stragglers are closed hard. It
+// returns once Serve has exited.
+func (s *HTTPServer) Shutdown(grace time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		err = s.srv.Close()
+	}
+	<-s.done
+	if err != nil {
+		return err
+	}
+	return s.err
+}

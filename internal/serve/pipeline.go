@@ -1,0 +1,75 @@
+package serve
+
+import "sync"
+
+// task is one admitted unit of work headed for an executor.
+type task struct {
+	job *Job
+	run func()
+}
+
+// pipeline is the channel-fed accept loop: admission pushes tasks onto a
+// bounded queue and a fixed pool of executor goroutines drains it. The
+// queue bound is the backpressure valve — trySubmit refuses instead of
+// blocking, so a saturated daemon answers 429 immediately rather than
+// holding client connections hostage. drain stops intake, lets queued
+// and running tasks finish, and returns once the executors exit; that is
+// the graceful half of SIGTERM handling.
+type pipeline struct {
+	mu     sync.Mutex
+	queue  chan *task
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPipeline(executors, depth int) *pipeline {
+	if executors < 1 {
+		executors = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	p := &pipeline{queue: make(chan *task, depth)}
+	for i := 0; i < executors; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.queue {
+				t.job.start()
+				t.run()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues t unless the queue is full or the pipeline is
+// draining; it never blocks.
+func (p *pipeline) trySubmit(t *task) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.queue <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// depth reports how many admitted tasks are waiting for an executor.
+func (p *pipeline) depth() int { return len(p.queue) }
+
+// drain stops intake and waits for queued and running tasks to finish.
+// Idempotent; concurrent callers all block until the executors exit.
+func (p *pipeline) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

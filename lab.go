@@ -138,6 +138,7 @@ type labConfig struct {
 	buildCache bool
 	metrics    bool
 	observer   obs.ProgressObserver
+	sharedTier *cache.SharedTier
 }
 
 // Option configures a Lab at construction time.
@@ -168,6 +169,34 @@ func WithSolveCacheDir(dir string) Option {
 // default comfortably covers whole experiment suites.
 func WithMemoryCacheSize(entries int) Option {
 	return func(c *labConfig) { c.memEntries = entries }
+}
+
+// SharedSolveTier is a content-addressed store of completed solve
+// results shared by several Labs: each Lab's private cache consults it
+// before booking a miss, so an identical solve any sibling Lab already
+// paid for is served with zero branch-and-bound steps (booked as a
+// shared hit, see SolveCacheStats.SharedHits). Private caches stay
+// private — the tier holds only finished, error-free solutions, never
+// in-flight state, so one Lab's cancellation or failure semantics cannot
+// leak into another's. This is the cross-tenant dedup layer of the
+// congestlbd service.
+type SharedSolveTier = cache.SharedTier
+
+// SharedSolveTierStats is a snapshot of a SharedSolveTier's counters.
+type SharedSolveTierStats = cache.SharedTierStats
+
+// NewSharedSolveTier returns an empty cross-Lab solve tier bounded to
+// the given number of solutions (0 = the package default). Attach it to
+// Labs at construction with WithSharedSolveTier.
+func NewSharedSolveTier(entries int) *SharedSolveTier {
+	return cache.NewSharedTier(entries)
+}
+
+// WithSharedSolveTier places the Lab's private solve cache on top of a
+// cross-Lab read-through tier (see SharedSolveTier). Multiple Labs may
+// share one tier; nil means no tier (the default).
+func WithSharedSolveTier(t *SharedSolveTier) Option {
+	return func(c *labConfig) { c.sharedTier = t }
 }
 
 // WithBuildCache switches the Lab's lower-bound-graph build cache on or
@@ -238,6 +267,9 @@ func New(opts ...Option) (*Lab, error) {
 		if l.builds != nil {
 			l.builds.SetRegistry(l.reg)
 		}
+	}
+	if cfg.sharedTier != nil {
+		l.solve.SetSharedTier(cfg.sharedTier)
 	}
 	l.progress = obs.Tee(cfg.observer, l.reg.IncumbentObserver())
 	if cfg.cacheDir != "" {
@@ -732,6 +764,47 @@ func (l *Lab) RunExperiments(ctx context.Context, ids []string, w io.Writer) (Ex
 		Scheduler:      sched,
 		Obs:            l.reg,
 	}, w)
+}
+
+// LoadStats is a point-in-time picture of how busy a Lab is — the
+// introspection hook admission control (congestlbd) keys its decisions
+// on. All fields are instantaneous; poll for trends.
+type LoadStats struct {
+	// QueueDepth is the number of scheduler jobs waiting for a worker
+	// (0 when the Lab's experiment pool has not been created yet).
+	QueueDepth int `json:"queue_depth"`
+	// PoolWorkers is the experiment worker-pool size (0 until the pool
+	// is lazily created by the first RunExperiments).
+	PoolWorkers int `json:"pool_workers"`
+	// ActiveRuns is the number of RunExperiments calls in flight.
+	ActiveRuns int `json:"active_runs"`
+	// SolverWorkers is the Lab's branch-and-bound worker default
+	// (0 = GOMAXPROCS at solve time).
+	SolverWorkers int `json:"solver_workers"`
+	// Closed reports that the Lab has been (or is being) closed.
+	Closed bool `json:"closed,omitempty"`
+}
+
+// Load reports the Lab's current scheduler queue depth and in-flight
+// run count. It is cheap and safe to call at any time, including
+// concurrently with Close (a closed Lab reports Closed with zero depth).
+func (l *Lab) Load() LoadStats {
+	l.mu.Lock()
+	ls := LoadStats{
+		ActiveRuns:    l.active,
+		SolverWorkers: l.workers,
+		Closed:        l.closed,
+	}
+	sched := l.sched
+	l.mu.Unlock()
+	if l.def {
+		ls.SolverWorkers = mis.DefaultWorkers()
+	}
+	if sched != nil {
+		ls.QueueDepth = sched.QueueDepth()
+		ls.PoolWorkers = sched.Workers()
+	}
+	return ls
 }
 
 // Close releases the Lab's worker pool and detaches its solve cache's disk
